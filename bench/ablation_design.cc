@@ -1,0 +1,90 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. peer-to-peer forwarding vs relaying partials through the host (§3),
+//   2. the §5.3 parallel I/O pipeline vs serial execution,
+//   3. the §5.2 non-blocking reduce vs a barrier,
+// measured as 128 KB random-write bandwidth/latency on the default array.
+
+#include "harness.h"
+
+using namespace draid;
+using namespace draid::bench;
+
+namespace {
+
+constexpr std::uint64_t kKb = 1024;
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+workload::FioResult
+runVariant(const core::DraidOptions &opts, int depth = 32)
+{
+    ArrayConfig array;
+    array.width = 8;
+    array.draidOpts = opts;
+    SystemUnderTest sut(SystemKind::kDraid, array);
+    workload::FioConfig fio;
+    fio.ioSize = 128 * kKb;
+    fio.readRatio = 0.0;
+    fio.ioDepth = depth;
+    fio.numOps = 1200;
+    fio.workingSetBytes = 512 * kMb;
+    return runFio(sut, fio);
+}
+
+} // namespace
+
+int
+main()
+{
+    printFigureHeader("Ablation",
+                      "dRAID design-choice ablations (RAID-5, 8 targets, "
+                      "128KB writes, iodepth 32)",
+                      {"variant", "MBps", "avg_us", "p99_us"});
+
+    struct Variant
+    {
+        const char *name;
+        core::DraidOptions opts;
+    };
+    core::DraidOptions full;
+    core::DraidOptions no_pipeline;
+    no_pipeline.pipeline = false;
+    core::DraidOptions barrier;
+    barrier.nonBlockingReduce = false;
+    core::DraidOptions host_relay;
+    host_relay.p2pForwarding = false;
+    core::DraidOptions worst;
+    worst.pipeline = false;
+    worst.nonBlockingReduce = false;
+    worst.p2pForwarding = false;
+
+    const Variant variants[] = {
+        {"full dRAID", full},
+        {"no §5.3 pipeline", no_pipeline},
+        {"§5.2 barrier reduce", barrier},
+        {"host-relay partials", host_relay},
+        {"all disabled", worst},
+    };
+
+    int idx = 0;
+    for (const auto &v : variants) {
+        auto r = runVariant(v.opts);
+        std::printf("# variant %d: %s\n", idx, v.name);
+        printRow({static_cast<double>(idx++), r.bandwidthMBps,
+                  r.avgLatencyUs, r.p99LatencyUs});
+    }
+    printNote("expected: host relay costs ~2x host tx (halves peak BW); "
+              "pipeline and non-blocking reduce each shave latency");
+
+    // Latency-focused comparison at depth 1 where overlap matters most.
+    printFigureHeader("Ablation (qd1)",
+                      "single-outstanding write latency per variant",
+                      {"variant", "MBps", "avg_us", "p99_us"});
+    idx = 0;
+    for (const auto &v : variants) {
+        auto r = runVariant(v.opts, /*depth=*/1);
+        std::printf("# variant %d: %s\n", idx, v.name);
+        printRow({static_cast<double>(idx++), r.bandwidthMBps,
+                  r.avgLatencyUs, r.p99LatencyUs});
+    }
+    return 0;
+}

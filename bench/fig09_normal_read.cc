@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig09_normal_read.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figReadVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 9");
+    return 0;
+}

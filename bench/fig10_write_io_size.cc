@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig10_write_io_size.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 10");
+    return 0;
+}

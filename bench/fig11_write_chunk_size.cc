@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig11_write_chunk_size.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsChunkSize(draid::raid::RaidLevel::kRaid5, "Figure 11");
+    return 0;
+}

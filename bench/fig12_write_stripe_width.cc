@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig12_write_stripe_width.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsWidth(draid::raid::RaidLevel::kRaid5, "Figure 12");
+    return 0;
+}

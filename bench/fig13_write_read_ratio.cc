@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig13_write_read_ratio.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsReadRatio(draid::raid::RaidLevel::kRaid5, "Figure 13");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig14_latency_throughput.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figLatencyVsLoad(draid::raid::RaidLevel::kRaid5, "Figure 14");
+    return 0;
+}

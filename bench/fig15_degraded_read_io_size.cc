@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig15_degraded_read_io_size.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedReadVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 15");
+    return 0;
+}

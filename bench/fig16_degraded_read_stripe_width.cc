@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig16_degraded_read_stripe_width.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedReadVsWidth(draid::raid::RaidLevel::kRaid5, "Figure 16");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig17_reconstruction.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figReconstructionScalability("Figure 17a"); draid::bench::figBwAwareReconstruction("Figure 17b");
+    return 0;
+}

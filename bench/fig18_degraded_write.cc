@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig18_degraded_write.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedWriteVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 18");
+    return 0;
+}

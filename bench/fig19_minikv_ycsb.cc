@@ -1,0 +1,55 @@
+// Bench binary regenerating Figure 19: MiniKv (the RocksDB/BlobFS
+// stand-in, §9.6) YCSB throughput on RAID-5, normal and degraded state.
+
+#include "ycsb_driver.h"
+
+using namespace draid;
+using namespace draid::bench;
+using workload::YcsbWorkload;
+
+namespace {
+
+void
+runState(bool degraded)
+{
+    printFigureHeader("Figure 19",
+                      std::string("MiniKv (RocksDB stand-in) YCSB on "
+                                  "RAID-5, ") +
+                          (degraded ? "degraded" : "normal") + " state",
+                      {"workload", "spdk_KIOPS", "draid_KIOPS", "spdk_us",
+                       "draid_us"});
+    const YcsbWorkload workloads[] = {YcsbWorkload::kA, YcsbWorkload::kB,
+                                      YcsbWorkload::kC, YcsbWorkload::kD,
+                                      YcsbWorkload::kF};
+    for (std::size_t wi = 0; wi < std::size(workloads); ++wi) {
+        const auto w = workloads[wi];
+        std::printf("# %s\n", workload::YcsbGenerator::name(w));
+        std::vector<double> row{static_cast<double>(wi)};
+        std::vector<double> lat;
+        for (auto kind : {SystemKind::kSpdk, SystemKind::kDraid}) {
+            ArrayConfig array;
+            array.width = 8;
+            SystemUnderTest sut(kind, array);
+            if (degraded)
+                sut.markFailed(0);
+            auto r = runMiniKvYcsb(sut, w, 150000, 30000, 32);
+            row.push_back(r.kiops);
+            lat.push_back(r.avgLatencyUs);
+        }
+        row.insert(row.end(), lat.begin(), lat.end());
+        printRow(row);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    runState(/*degraded=*/false);
+    runState(/*degraded=*/true);
+    printNote("paper: dRAID improves write-heavy A/F by ~1.27-1.28x in "
+              "normal state (single LSM instance is CPU/lock bound, <5% "
+              "of array bandwidth); larger gains in degraded state");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig22_r6_normal_read.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figReadVsIoSize(draid::raid::RaidLevel::kRaid6, "Figure 22");
+    return 0;
+}

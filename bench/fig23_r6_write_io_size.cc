@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig23_r6_write_io_size.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsIoSize(draid::raid::RaidLevel::kRaid6, "Figure 23");
+    return 0;
+}

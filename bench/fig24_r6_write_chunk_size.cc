@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig24_r6_write_chunk_size.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsChunkSize(draid::raid::RaidLevel::kRaid6, "Figure 24");
+    return 0;
+}

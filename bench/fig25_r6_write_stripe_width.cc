@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig25_r6_write_stripe_width.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsWidth(draid::raid::RaidLevel::kRaid6, "Figure 25");
+    return 0;
+}

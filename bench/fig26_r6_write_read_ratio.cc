@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig26_r6_write_read_ratio.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figWriteVsReadRatio(draid::raid::RaidLevel::kRaid6, "Figure 26");
+    return 0;
+}

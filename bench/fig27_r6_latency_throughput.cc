@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig27_r6_latency_throughput.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figLatencyVsLoad(draid::raid::RaidLevel::kRaid6, "Figure 27");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig28_r6_degraded_read.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedReadVsIoSize(draid::raid::RaidLevel::kRaid6, "Figure 28");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig29_r6_degraded_stripe_width.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedReadVsWidth(draid::raid::RaidLevel::kRaid6, "Figure 29");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Bench binary regenerating the paper's fig30_r6_degraded_write.
+#include "figures.h"
+
+int
+main()
+{
+    draid::bench::figDegradedWriteVsIoSize(draid::raid::RaidLevel::kRaid6, "Figure 30");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reusable figure generators: each reproduces one experiment family of the
+ * paper's evaluation, parameterized by RAID level so the appendix (RAID-6,
+ * Figs. 22-30) reuses the RAID-5 logic (Figs. 9-18).
+ */
+
+#ifndef DRAID_BENCH_FIGURES_H
+#define DRAID_BENCH_FIGURES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace draid::bench {
+
+/** Fig. 9 / 22: normal-state read bandwidth+latency vs I/O size. */
+void figReadVsIoSize(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 10 / 23: normal-state write vs I/O size across write modes. */
+void figWriteVsIoSize(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 11 / 24: normal-state write vs chunk size. */
+void figWriteVsChunkSize(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 12 / 25: normal-state write vs stripe width (+NIC goodput). */
+void figWriteVsWidth(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 13 / 26: mixed workload vs read ratio. */
+void figWriteVsReadRatio(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 14 / 27: latency vs offered bandwidth (WO and 50/50), width 18. */
+void figLatencyVsLoad(raid::RaidLevel level, const std::string &figure);
+
+/** Fig. 15 / 28: degraded read vs I/O size. */
+void figDegradedReadVsIoSize(raid::RaidLevel level,
+                             const std::string &figure);
+
+/** Fig. 16 / 29: degraded read vs stripe width. */
+void figDegradedReadVsWidth(raid::RaidLevel level,
+                            const std::string &figure);
+
+/** Fig. 18 / 30: degraded write vs I/O size. */
+void figDegradedWriteVsIoSize(raid::RaidLevel level,
+                              const std::string &figure);
+
+/** Fig. 17a: full-rebuild throughput vs stripe width (SPDK vs dRAID). */
+void figReconstructionScalability(const std::string &figure);
+
+/** Fig. 17b: random vs bandwidth-aware reducer on heterogeneous NICs. */
+void figBwAwareReconstruction(const std::string &figure);
+
+} // namespace draid::bench
+
+#endif // DRAID_BENCH_FIGURES_H

@@ -1,0 +1,180 @@
+#include "harness.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace draid::bench {
+
+const char *
+name(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kLinux: return "Linux";
+      case SystemKind::kSpdk: return "SPDK";
+      case SystemKind::kDraid: return "dRAID";
+    }
+    return "?";
+}
+
+SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
+    : kind_(kind)
+{
+    // 2 GB per drive keeps memory bounded while giving enough stripes.
+    cfg_.ssd.capacity = 2ull << 30;
+    cluster_ = std::make_unique<cluster::Cluster>(
+        cfg_, array.width + array.spares, array.targetNicGoodputs);
+
+    const std::uint32_t chunk = array.chunkKb * 1024;
+    switch (kind) {
+      case SystemKind::kDraid: {
+        core::DraidOptions o = array.draidOpts;
+        o.level = array.level;
+        o.chunkSize = chunk;
+        draid_ = std::make_unique<core::DraidSystem>(*cluster_, o,
+                                                     array.width);
+        break;
+      }
+      case SystemKind::kSpdk:
+        spdk_ = std::make_unique<baselines::SpdkRaid>(*cluster_,
+                                                      array.level, chunk,
+                                                      array.width);
+        break;
+      case SystemKind::kLinux:
+        linux_ = std::make_unique<baselines::LinuxMdRaid>(*cluster_,
+                                                          array.level,
+                                                          chunk,
+                                                          array.width);
+        break;
+    }
+}
+
+blockdev::BlockDevice &
+SystemUnderTest::device()
+{
+    if (draid_)
+        return draid_->host();
+    if (spdk_)
+        return *spdk_;
+    return *linux_;
+}
+
+core::DraidHost *
+SystemUnderTest::draidHost()
+{
+    return draid_ ? &draid_->host() : nullptr;
+}
+
+void
+SystemUnderTest::markFailed(std::uint32_t dev)
+{
+    if (draid_) {
+        draid_->host().markFailed(dev);
+    } else if (spdk_) {
+        spdk_->markFailed(dev);
+    } else {
+        linux_->markFailed(dev);
+    }
+}
+
+void
+SystemUnderTest::reconstructChunk(std::uint64_t stripe, std::uint32_t spare,
+                                  std::function<void(bool)> done)
+{
+    if (draid_) {
+        draid_->host().reconstructChunk(stripe, spare, std::move(done));
+    } else if (spdk_) {
+        spdk_->reconstructChunk(stripe, spare, std::move(done));
+    } else {
+        linux_->reconstructChunk(stripe, spare, std::move(done));
+    }
+}
+
+workload::FioResult
+runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
+{
+    auto &dev = sut.device();
+    auto &sim = sut.sim();
+
+    if (preload) {
+        // Sequential full-span preload with big writes (full stripes where
+        // possible) so the measured region holds real data + parity. The
+        // drain waits on the completion count, not on queue exhaustion:
+        // recurring controller events (e.g. the §6.2 bandwidth-aware
+        // refresh timer) keep the queue occupied forever.
+        const std::uint64_t span = fio.workingSetBytes == 0
+                                       ? dev.sizeBytes()
+                                       : std::min(fio.workingSetBytes,
+                                                  dev.sizeBytes());
+        const std::uint32_t io = 4u << 20;
+        std::uint64_t pos = 0;
+        int outstanding = 0;
+        int resume_below = -1;
+        while (pos < span) {
+            const std::uint32_t len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(io, span - pos));
+            ec::Buffer data(len);
+            data.fill(static_cast<std::uint8_t>(pos >> 22));
+            ++outstanding;
+            dev.write(pos, std::move(data), [&](blockdev::IoStatus) {
+                --outstanding;
+                if (resume_below >= 0 && outstanding < resume_below) {
+                    resume_below = -1;
+                    sim.stop();
+                }
+            });
+            pos += len;
+            if (outstanding >= 16) {
+                resume_below = 8;
+                sim.run();
+            }
+        }
+        while (outstanding > 0) {
+            resume_below = 1;
+            sim.run();
+        }
+    }
+
+    workload::FioJob job(sim, dev, fio);
+    return job.run();
+}
+
+workload::FioConfig
+preloadConfig(std::uint64_t working_set_bytes)
+{
+    workload::FioConfig fio;
+    fio.ioSize = 128 * 1024;
+    fio.readRatio = 1.0;
+    fio.ioDepth = 1;
+    fio.numOps = 1;
+    fio.workingSetBytes = working_set_bytes;
+    return fio;
+}
+
+void
+printFigureHeader(const std::string &figure, const std::string &title,
+                  const std::vector<std::string> &columns)
+{
+    std::printf("\n# %s: %s\n", figure.c_str(), title.c_str());
+    std::printf("#");
+    for (const auto &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::vector<double> &values)
+{
+    std::printf(" ");
+    for (double v : values)
+        std::printf(" %12.1f", v);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+void
+printNote(const std::string &note)
+{
+    std::printf("# %s\n", note.c_str());
+}
+
+} // namespace draid::bench

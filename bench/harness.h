@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared bench harness: builds each system under test on a fresh simulated
+ * testbed and runs FIO-style jobs against it, printing rows in the shape
+ * of the paper's figures (bandwidth MB/s + average latency us).
+ */
+
+#ifndef DRAID_BENCH_HARNESS_H
+#define DRAID_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/linux_md.h"
+#include "baselines/spdk_raid.h"
+#include "cluster/cluster.h"
+#include "core/draid_host.h"
+#include "workload/fio.h"
+
+namespace draid::bench {
+
+/** The three systems the paper compares (§9.1). */
+enum class SystemKind
+{
+    kLinux,
+    kSpdk,
+    kDraid,
+};
+
+const char *name(SystemKind kind);
+
+/** Shape of the array under test. */
+struct ArrayConfig
+{
+    raid::RaidLevel level = raid::RaidLevel::kRaid5;
+    std::uint32_t chunkKb = 512;
+    std::uint32_t width = 8;       ///< member devices
+    std::uint32_t spares = 0;      ///< extra targets beyond the members
+    core::DraidOptions draidOpts;  ///< dRAID-only toggles
+    std::vector<double> targetNicGoodputs; ///< heterogeneity (Fig. 17b)
+};
+
+/** One fully assembled system on its own cluster. */
+class SystemUnderTest
+{
+  public:
+    SystemUnderTest(SystemKind kind, const ArrayConfig &array);
+
+    blockdev::BlockDevice &device();
+    cluster::Cluster &cluster() { return *cluster_; }
+    sim::Simulator &sim() { return cluster_->sim(); }
+    SystemKind kind() const { return kind_; }
+
+    /** Declare a member device failed on the system's controller. */
+    void markFailed(std::uint32_t dev);
+
+    /** Per-stripe rebuild entry point (dRAID p2p / baselines host-pull). */
+    void reconstructChunk(std::uint64_t stripe, std::uint32_t spare,
+                          std::function<void(bool)> done);
+
+    core::DraidHost *draidHost();
+
+  private:
+    SystemKind kind_;
+    cluster::TestbedConfig cfg_;
+    std::unique_ptr<cluster::Cluster> cluster_;
+    std::unique_ptr<core::DraidSystem> draid_;
+    std::unique_ptr<baselines::SpdkRaid> spdk_;
+    std::unique_ptr<baselines::LinuxMdRaid> linux_;
+};
+
+/**
+ * Preload the working set (sequential full-stripe writes) so measured
+ * reads hit written data and measured partial writes see realistic old
+ * data, then run the FIO job.
+ */
+workload::FioResult runFio(SystemUnderTest &sut,
+                           const workload::FioConfig &fio,
+                           bool preload = true);
+
+/** A do-nothing measurement job whose runFio() call only preloads. */
+workload::FioConfig preloadConfig(std::uint64_t working_set_bytes);
+
+/** Print a figure header: title + column names. */
+void printFigureHeader(const std::string &figure, const std::string &title,
+                       const std::vector<std::string> &columns);
+
+/** Print one numeric row. */
+void printRow(const std::vector<double> &values);
+
+/** Print a commentary line (prefixed with '#'). */
+void printNote(const std::string &note);
+
+} // namespace draid::bench
+
+#endif // DRAID_BENCH_HARNESS_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Closed-loop YCSB drivers for the two applications of §9.6: the
+ * hash-based object store (Figs. 20-21) and MiniKv, the RocksDB stand-in
+ * (Fig. 19).
+ */
+
+#ifndef DRAID_BENCH_YCSB_DRIVER_H
+#define DRAID_BENCH_YCSB_DRIVER_H
+
+#include "app/minikv.h"
+#include "app/object_store.h"
+#include "harness.h"
+#include "workload/ycsb.h"
+
+namespace draid::bench {
+
+/** Application-level result in the paper's units. */
+struct YcsbResult
+{
+    double kiops = 0.0;
+    double avgLatencyUs = 0.0;
+};
+
+/** Run one YCSB workload against the object store on @p sut. */
+YcsbResult runObjectStoreYcsb(SystemUnderTest &sut,
+                              workload::YcsbWorkload workload,
+                              std::uint64_t num_objects,
+                              std::uint64_t num_ops, int depth,
+                              std::uint32_t object_size = 128 * 1024);
+
+/** Run one YCSB workload against MiniKv on @p sut. */
+YcsbResult runMiniKvYcsb(SystemUnderTest &sut,
+                         workload::YcsbWorkload workload,
+                         std::uint64_t num_records, std::uint64_t num_ops,
+                         int depth);
+
+} // namespace draid::bench
+
+#endif // DRAID_BENCH_YCSB_DRIVER_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: build a simulated 8-server testbed, create a dRAID-5 array
+ * over it, write and read back data, and print what moved where.
+ *
+ * Run: ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/draid_host.h"
+
+using namespace draid;
+
+int
+main()
+{
+    // 1. A testbed: one host plus eight storage servers, each with a
+    //    100 Gbps NIC and one NVMe SSD (calibrated to the paper's drive).
+    cluster::TestbedConfig config;
+    config.ssd.capacity = 4ull << 30;
+    cluster::Cluster cluster(config, /*num_targets=*/8);
+
+    // 2. A dRAID-5 array across all eight targets (512 KB chunks).
+    core::DraidOptions options;
+    options.level = raid::RaidLevel::kRaid5;
+    options.chunkSize = 512 * 1024;
+    core::DraidSystem draid(cluster, options);
+    auto &array = draid.host();
+
+    std::printf("dRAID-5 array: %u devices, %.1f GB usable\n",
+                array.geometry().width(),
+                static_cast<double>(array.sizeBytes()) / (1ull << 30));
+
+    // 3. Write 1 MB of data at offset 128 KB (a partial-stripe write:
+    //    watch the disaggregated parity machinery run).
+    ec::Buffer data(1 << 20);
+    data.fillPattern(2023);
+    bool done = false;
+    array.write(128 * 1024, data.clone(), [&](blockdev::IoStatus st) {
+        std::printf("write completed: %s at t=%.1f us\n",
+                    st == blockdev::IoStatus::kOk ? "OK" : "FAILED",
+                    sim::toMicros(cluster.sim().now()));
+        done = true;
+    });
+    cluster.sim().run();
+    if (!done)
+        return 1;
+
+    // 4. Read it back and verify.
+    bool match = false;
+    array.read(128 * 1024, 1 << 20,
+               [&](blockdev::IoStatus st, ec::Buffer got) {
+                   match = st == blockdev::IoStatus::kOk &&
+                           got.contentEquals(data);
+               });
+    cluster.sim().run();
+    std::printf("read-back verification: %s\n",
+                match ? "bytes identical" : "MISMATCH");
+
+    // 5. Where did the bytes go? The host sent ~1 MB (the user data);
+    //    partial parities flowed peer-to-peer between storage servers.
+    std::printf("\ntraffic summary:\n");
+    std::printf("  host     tx %8.0f KB   rx %8.0f KB\n",
+                cluster.host().nic().tx().bytesTransferred() / 1024.0,
+                cluster.host().nic().rx().bytesTransferred() / 1024.0);
+    for (std::uint32_t i = 0; i < cluster.numTargets(); ++i) {
+        std::printf("  server %u tx %8.0f KB   rx %8.0f KB\n", i,
+                    cluster.target(i).nic().tx().bytesTransferred() /
+                        1024.0,
+                    cluster.target(i).nic().rx().bytesTransferred() /
+                        1024.0);
+    }
+
+    const auto &c = array.counters();
+    std::printf("\nwrite modes used: %llu RMW, %llu reconstruct-write, "
+                "%llu full-stripe\n",
+                static_cast<unsigned long long>(c.rmwWrites),
+                static_cast<unsigned long long>(c.rcwWrites),
+                static_cast<unsigned long long>(c.fullStripeWrites));
+    return match ? 0 : 1;
+}

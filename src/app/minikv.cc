@@ -1,0 +1,277 @@
+#include "app/minikv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+#include <memory>
+
+namespace draid::app {
+
+MiniKv::MiniKv(sim::Simulator &sim, sim::CpuCore &cpu,
+               blockdev::BlockDevice &dev, const MiniKvConfig &config)
+    : sim_(sim), cpu_(cpu), dev_(dev), cfg_(config),
+      sstAllocator_(config.walRegionBytes)
+{
+    assert(dev.sizeBytes() > cfg_.walRegionBytes);
+}
+
+void
+MiniKv::put(std::uint64_t key, PutCallback cb)
+{
+    ++stats_.puts;
+    cpu_.execute(cfg_.opCpuCost, [this, key, cb = std::move(cb)]() mutable {
+        enqueueWal(std::move(cb), key);
+    });
+}
+
+void
+MiniKv::enqueueWal(PutCallback cb, std::uint64_t key)
+{
+    walBatch_.emplace_back(key, std::move(cb));
+    if (walBatch_.size() >= cfg_.walBatchOps) {
+        flushWalBatch();
+        return;
+    }
+    if (!walTimerArmed_) {
+        walTimerArmed_ = true;
+        sim_.schedule(cfg_.walBatchDelay, [this]() {
+            walTimerArmed_ = false;
+            if (!walBatch_.empty())
+                flushWalBatch();
+        });
+    }
+}
+
+void
+MiniKv::flushWalBatch()
+{
+    if (walWriteInFlight_ || walBatch_.empty())
+        return;
+    walWriteInFlight_ = true;
+    // Group commit with a bounded batch: take up to walBatchOps entries,
+    // leave the rest for the next commit.
+    const std::size_t take =
+        std::min<std::size_t>(walBatch_.size(), cfg_.walBatchOps);
+    auto batch = std::make_shared<
+        std::vector<std::pair<std::uint64_t, PutCallback>>>();
+    batch->assign(std::make_move_iterator(walBatch_.begin()),
+                  std::make_move_iterator(walBatch_.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              take)));
+    walBatch_.erase(walBatch_.begin(),
+                    walBatch_.begin() + static_cast<std::ptrdiff_t>(take));
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(batch->size()) * (cfg_.valueSize + 16);
+    if (walHead_ + bytes > cfg_.walRegionBytes)
+        walHead_ = 0; // ring wrap
+    const std::uint64_t off = walHead_;
+    walHead_ += bytes;
+
+    ec::Buffer data(bytes);
+    dev_.write(off, std::move(data), [this,
+                                      batch](blockdev::IoStatus st) {
+        ++stats_.walWrites;
+        walWriteInFlight_ = false;
+        const bool ok = st == blockdev::IoStatus::kOk;
+        for (auto &[key, cb] : *batch) {
+            if (ok) {
+                if (!memtable_.contains(key)) {
+                    memtable_[key] = true;
+                    memtableBytes_ += cfg_.valueSize;
+                }
+            }
+            cb(ok);
+        }
+        maybeFlushMemtable();
+        if (!walBatch_.empty())
+            flushWalBatch();
+    });
+}
+
+void
+MiniKv::maybeFlushMemtable()
+{
+    if (flushInFlight_ || memtableBytes_ < cfg_.memtableBytes)
+        return;
+    flushInFlight_ = true;
+    ++stats_.flushes;
+
+    // Snapshot and clear the memtable; write it as one L0 run of large
+    // sequential I/Os.
+    auto keys = std::make_shared<std::vector<std::uint64_t>>();
+    keys->reserve(memtable_.size());
+    for (const auto &[k, v] : memtable_)
+        keys->push_back(k);
+    memtable_.clear();
+    const std::uint64_t run_bytes = memtableBytes_;
+    memtableBytes_ = 0;
+
+    const std::uint64_t base = sstAllocator_;
+    sstAllocator_ += run_bytes;
+    assert(sstAllocator_ <= dev_.sizeBytes());
+
+    // Index entries point at their 4 KB block within the run.
+    for (std::size_t i = 0; i < keys->size(); ++i) {
+        sstIndex_[(*keys)[i]] =
+            base + (static_cast<std::uint64_t>(i) * cfg_.valueSize) /
+                       4096 * 4096;
+    }
+
+    auto remaining = std::make_shared<std::uint64_t>(run_bytes);
+    auto offset = std::make_shared<std::uint64_t>(base);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, remaining, offset, base, run_bytes, pump]() {
+        if (*remaining == 0) {
+            level0_.push_back(SstEntry{base, run_bytes});
+            flushInFlight_ = false;
+            maybeCompact();
+            maybeFlushMemtable();
+            return;
+        }
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(*remaining, cfg_.flushIoBytes));
+        const std::uint64_t off = *offset;
+        *offset += chunk;
+        *remaining -= chunk;
+        dev_.write(off, ec::Buffer(chunk),
+                   [pump](blockdev::IoStatus) { (*pump)(); });
+    };
+    (*pump)();
+}
+
+void
+MiniKv::maybeCompact()
+{
+    if (compactionInFlight_ || level0_.size() < cfg_.l0CompactTrigger)
+        return;
+    compactionInFlight_ = true;
+    ++stats_.compactions;
+
+    // Merge every L0 run (plus the newest L1 run, if any) into a new L1
+    // run: sequential reads of the inputs, then sequential writes of the
+    // merged output.
+    auto inputs = std::make_shared<std::vector<SstEntry>>(level0_);
+    level0_.clear();
+    if (!level1_.empty()) {
+        inputs->push_back(level1_.back());
+        level1_.pop_back();
+    }
+    std::uint64_t total = 0;
+    for (const auto &e : *inputs)
+        total += e.bytes;
+
+    const std::uint64_t base = sstAllocator_;
+    sstAllocator_ += total;
+    assert(sstAllocator_ <= dev_.sizeBytes());
+
+    // Read phase: walk the inputs in flushIoBytes chunks.
+    auto read_idx = std::make_shared<std::size_t>(0);
+    auto read_off = std::make_shared<std::uint64_t>(0);
+    auto write_off = std::make_shared<std::uint64_t>(base);
+    auto write_left = std::make_shared<std::uint64_t>(total);
+
+    auto write_pump = std::make_shared<std::function<void()>>();
+    *write_pump = [this, write_off, write_left, base, total,
+                   write_pump]() {
+        if (*write_left == 0) {
+            level1_.push_back(SstEntry{base, total});
+            compactionInFlight_ = false;
+            maybeCompact();
+            return;
+        }
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(*write_left, cfg_.flushIoBytes));
+        const std::uint64_t off = *write_off;
+        *write_off += chunk;
+        *write_left -= chunk;
+        dev_.write(off, ec::Buffer(chunk),
+                   [write_pump](blockdev::IoStatus) { (*write_pump)(); });
+    };
+
+    auto read_pump = std::make_shared<std::function<void()>>();
+    *read_pump = [this, inputs, read_idx, read_off, read_pump,
+                  write_pump]() {
+        if (*read_idx >= inputs->size()) {
+            (*write_pump)();
+            return;
+        }
+        const auto &e = (*inputs)[*read_idx];
+        if (*read_off >= e.bytes) {
+            ++*read_idx;
+            *read_off = 0;
+            (*read_pump)();
+            return;
+        }
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(e.bytes - *read_off,
+                                    cfg_.flushIoBytes));
+        const std::uint64_t off = e.offset + *read_off;
+        *read_off += chunk;
+        dev_.read(off, chunk,
+                  [read_pump](blockdev::IoStatus, ec::Buffer) {
+                      (*read_pump)();
+                  });
+    };
+    (*read_pump)();
+}
+
+void
+MiniKv::get(std::uint64_t key, GetCallback cb)
+{
+    ++stats_.gets;
+    cpu_.execute(cfg_.opCpuCost, [this, key, cb = std::move(cb)]() mutable {
+        if (memtable_.contains(key)) {
+            ++stats_.memtableHits;
+            cb(true);
+            return;
+        }
+        auto it = sstIndex_.find(key);
+        if (it == sstIndex_.end()) {
+            ++stats_.getMisses;
+            cb(false);
+            return;
+        }
+        const std::uint64_t block = it->second;
+        if (cacheContains(block)) {
+            ++stats_.cacheHits;
+            cacheTouch(block);
+            cb(true);
+            return;
+        }
+        ++stats_.sstReads;
+        dev_.read(block, 4096,
+                  [this, block, cb = std::move(cb)](blockdev::IoStatus st,
+                                                    ec::Buffer) mutable {
+                      if (st == blockdev::IoStatus::kOk)
+                          cacheTouch(block);
+                      cb(st == blockdev::IoStatus::kOk);
+                  });
+    });
+}
+
+bool
+MiniKv::cacheContains(std::uint64_t block) const
+{
+    return cacheMap_.contains(block);
+}
+
+void
+MiniKv::cacheTouch(std::uint64_t block)
+{
+    auto it = cacheMap_.find(block);
+    if (it != cacheMap_.end()) {
+        cacheLru_.erase(it->second);
+    } else {
+        const std::uint64_t capacity =
+            std::max<std::uint64_t>(1, cfg_.blockCacheBytes / 4096);
+        while (cacheLru_.size() >= capacity) {
+            cacheMap_.erase(cacheLru_.back());
+            cacheLru_.pop_back();
+        }
+    }
+    cacheLru_.push_front(block);
+    cacheMap_[block] = cacheLru_.begin();
+}
+
+} // namespace draid::app

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MiniKv: a single-instance LSM key-value store standing in for
+ * RocksDB-on-BlobFS in the application evaluation (paper §9.6, Fig. 19).
+ *
+ * Like the paper's RocksDB setup, MiniKv is a single instance whose
+ * throughput is bounded by its own CPU path and write-ahead logging, using
+ * well under the array's full bandwidth; the RAID systems differentiate
+ * through WAL/flush/compaction I/O latency and bandwidth.
+ *
+ * Structure: group-committed WAL + in-memory memtable; memtable flushes to
+ * L0 SSTs (large sequential writes); L0 compaction merges into L1. Gets
+ * hit the memtable or read one 4 KB block of an SST through an in-memory
+ * index.
+ */
+
+#ifndef DRAID_APP_MINIKV_H
+#define DRAID_APP_MINIKV_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace draid::app {
+
+/** MiniKv tunables. */
+struct MiniKvConfig
+{
+    std::uint32_t valueSize = 1024;
+    std::uint64_t memtableBytes = 8ull << 20;
+    std::uint32_t l0CompactTrigger = 4;
+    std::uint32_t walBatchOps = 32;
+    sim::Tick walBatchDelay = 20 * sim::kMicrosecond;
+    sim::Tick opCpuCost = 1500; ///< per-op CPU (locks, skiplist, encode)
+    std::uint64_t walRegionBytes = 256ull << 20;
+    std::uint32_t flushIoBytes = 1 << 20; ///< sequential flush chunk
+    std::uint64_t blockCacheBytes = 16ull << 20; ///< LRU cache of 4KB blocks
+};
+
+/** Counters for benches and tests. */
+struct MiniKvStats
+{
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t getMisses = 0;
+    std::uint64_t memtableHits = 0;
+    std::uint64_t sstReads = 0;
+    std::uint64_t walWrites = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t cacheHits = 0;
+};
+
+/** A miniature LSM store over a BlockDevice. */
+class MiniKv
+{
+  public:
+    using PutCallback = std::function<void(bool)>;
+    using GetCallback = std::function<void(bool)>;
+
+    MiniKv(sim::Simulator &sim, sim::CpuCore &cpu,
+           blockdev::BlockDevice &dev, const MiniKvConfig &config);
+
+    /** Insert/update a key (value content is synthetic). */
+    void put(std::uint64_t key, PutCallback cb);
+
+    /** Point lookup. */
+    void get(std::uint64_t key, GetCallback cb);
+
+    const MiniKvStats &stats() const { return stats_; }
+
+  private:
+    struct SstEntry
+    {
+        std::uint64_t offset; ///< device offset of the run
+        std::uint64_t bytes;
+    };
+
+    void enqueueWal(PutCallback cb, std::uint64_t key);
+    void flushWalBatch();
+    void maybeFlushMemtable();
+    void maybeCompact();
+
+    sim::Simulator &sim_;
+    sim::CpuCore &cpu_;
+    blockdev::BlockDevice &dev_;
+    MiniKvConfig cfg_;
+    MiniKvStats stats_;
+
+    // WAL ring.
+    std::uint64_t walHead_ = 0;
+    std::vector<std::pair<std::uint64_t, PutCallback>> walBatch_;
+    bool walTimerArmed_ = false;
+    bool walWriteInFlight_ = false;
+
+    // Memtable: key -> present (values synthetic, sized cfg_.valueSize).
+    std::unordered_map<std::uint64_t, bool> memtable_;
+    std::uint64_t memtableBytes_ = 0;
+    bool flushInFlight_ = false;
+    bool compactionInFlight_ = false;
+
+    // SST index: key -> device block address; plus run bookkeeping.
+    std::unordered_map<std::uint64_t, std::uint64_t> sstIndex_;
+    std::vector<SstEntry> level0_;
+    std::vector<SstEntry> level1_;
+    std::uint64_t sstAllocator_; ///< bump allocator past the WAL region
+
+    // LRU block cache: block address -> position in the LRU list.
+    void cacheTouch(std::uint64_t block);
+    bool cacheContains(std::uint64_t block) const;
+    std::list<std::uint64_t> cacheLru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator> cacheMap_;
+};
+
+} // namespace draid::app
+
+#endif // DRAID_APP_MINIKV_H

@@ -1,0 +1,63 @@
+#include "app/object_store.h"
+
+#include <cassert>
+
+namespace draid::app {
+
+ObjectStore::ObjectStore(blockdev::BlockDevice &dev,
+                         std::uint32_t object_size)
+    : dev_(dev), objectSize_(object_size)
+{
+    assert(object_size > 0);
+    slots_ = dev_.sizeBytes() / objectSize_;
+    assert(slots_ > 0);
+}
+
+std::uint64_t
+ObjectStore::allocateSlot(std::uint64_t id)
+{
+    // Multiplicative (Fibonacci) hash, then linear probe to a free slot.
+    std::uint64_t slot = (id * 0x9e3779b97f4a7c15ull) % slots_;
+    while (slotOwner_.contains(slot))
+        slot = (slot + 1) % slots_;
+    slotOwner_[slot] = id;
+    return slot;
+}
+
+void
+ObjectStore::put(std::uint64_t id, ec::Buffer data, PutCallback cb)
+{
+    assert(data.size() == objectSize_);
+    auto it = index_.find(id);
+    std::uint64_t slot;
+    if (it != index_.end()) {
+        slot = it->second;
+    } else {
+        if (index_.size() >= slots_) {
+            cb(false); // store full
+            return;
+        }
+        slot = allocateSlot(id);
+        index_.emplace(id, slot);
+    }
+    dev_.write(slot * objectSize_, std::move(data),
+               [cb](blockdev::IoStatus st) {
+                   cb(st == blockdev::IoStatus::kOk);
+               });
+}
+
+void
+ObjectStore::get(std::uint64_t id, GetCallback cb)
+{
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+        cb(false, {});
+        return;
+    }
+    dev_.read(it->second * objectSize_, objectSize_,
+              [cb](blockdev::IoStatus st, ec::Buffer data) {
+                  cb(st == blockdev::IoStatus::kOk, std::move(data));
+              });
+}
+
+} // namespace draid::app

@@ -1,0 +1,38 @@
+#include "baselines/linux_md.h"
+
+#include "sim/types.h"
+
+namespace draid::baselines {
+
+HostRaidTuning
+LinuxMdRaid::tuning(const cluster::TestbedConfig &cfg, std::uint32_t width)
+{
+    HostRaidTuning t;
+    t.perOpCost = cfg.mdRequestCost; // block-layer request handling
+    t.lockCost = 0;
+    t.lockReads = false;
+    // Single md thread: every byte goes through 4 KB stripe-cache pages
+    // whose handling cost scales with the stripe width (each stripe-head
+    // tracks per-device strip state).
+    const double page_cost_ns =
+        static_cast<double>(cfg.mdPageCost) *
+        (0.45 + 0.07 * static_cast<double>(width));
+    t.dataPathBw = 4096.0 / (page_cost_ns * 1e-9);
+    // Reads bypass the stripe cache: only bio handling per page.
+    t.readPathBw = 3.5 * t.dataPathBw;
+    t.xorBw = cfg.xorBw; // MD also uses accelerated XOR kernels
+    t.gfBw = cfg.gfBw;
+    t.queueDelay = cfg.mdQueueDelay; // kernel I/O path submission latency
+    t.degradedPathFactor = 5.0;      // serialized stripe-cache recovery
+    return t;
+}
+
+LinuxMdRaid::LinuxMdRaid(cluster::Cluster &cluster, raid::RaidLevel level,
+                         std::uint32_t chunk_size, std::uint32_t width)
+    : HostCentricRaid(cluster, level, chunk_size, width,
+                      tuning(cluster.config(),
+                             width == 0 ? cluster.numTargets() : width))
+{
+}
+
+} // namespace draid::baselines

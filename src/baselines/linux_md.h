@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The Linux software RAID (MD driver) baseline (paper §2.3, §9.1).
+ *
+ * MD processes every byte through a single RAID thread's 4 KB stripe-cache
+ * pages, with kernel block-layer costs per request. The per-page cost
+ * grows with the stripe width (each stripe-cache entry spans all member
+ * devices), which is why MD's write throughput *decreases* as drives are
+ * added (Fig. 12).
+ */
+
+#ifndef DRAID_BASELINES_LINUX_MD_H
+#define DRAID_BASELINES_LINUX_MD_H
+
+#include "baselines/host_raid.h"
+
+namespace draid::baselines {
+
+/** Linux MD RAID over NVMe-oF block devices. */
+class LinuxMdRaid : public HostCentricRaid
+{
+  public:
+    LinuxMdRaid(cluster::Cluster &cluster, raid::RaidLevel level,
+                std::uint32_t chunk_size, std::uint32_t width = 0);
+
+  private:
+    static HostRaidTuning tuning(const cluster::TestbedConfig &cfg,
+                                 std::uint32_t width);
+};
+
+} // namespace draid::baselines
+
+#endif // DRAID_BASELINES_LINUX_MD_H

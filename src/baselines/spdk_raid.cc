@@ -1,0 +1,27 @@
+#include "baselines/spdk_raid.h"
+
+namespace draid::baselines {
+
+HostRaidTuning
+SpdkRaid::tuning(const cluster::TestbedConfig &cfg)
+{
+    HostRaidTuning t;
+    t.perOpCost = 0;             // poll-mode, no kernel crossing
+    t.lockCost = cfg.lockCost;   // stripe lock pair
+    t.lockReads = true;          // the POC locks normal reads (§8)
+    t.dataPathBw = 40e9;         // user-space zero-copy datapath
+    t.readPathBw = 60e9;
+    t.xorBw = cfg.xorBw;
+    t.gfBw = cfg.gfBw;
+    t.queueDelay = 0;
+    return t;
+}
+
+SpdkRaid::SpdkRaid(cluster::Cluster &cluster, raid::RaidLevel level,
+                   std::uint32_t chunk_size, std::uint32_t width)
+    : HostCentricRaid(cluster, level, chunk_size, width,
+                      tuning(cluster.config()))
+{
+}
+
+} // namespace draid::baselines

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The SPDK RAID POC baseline (paper §9.1): the Intel user-space RAID-5
+ * proof of concept, enhanced — as the paper's authors did — with ISA-L
+ * parity kernels and RAID-6 support. Lock-light poll-mode datapath, but
+ * host-centric: all parity traffic crosses the host NIC, and normal reads
+ * take the stripe lock (the behaviour dRAID's §8 optimization removes).
+ */
+
+#ifndef DRAID_BASELINES_SPDK_RAID_H
+#define DRAID_BASELINES_SPDK_RAID_H
+
+#include "baselines/host_raid.h"
+
+namespace draid::baselines {
+
+/** The enhanced SPDK RAID POC. */
+class SpdkRaid : public HostCentricRaid
+{
+  public:
+    SpdkRaid(cluster::Cluster &cluster, raid::RaidLevel level,
+             std::uint32_t chunk_size, std::uint32_t width = 0);
+
+  private:
+    static HostRaidTuning tuning(const cluster::TestbedConfig &cfg);
+};
+
+} // namespace draid::baselines
+
+#endif // DRAID_BASELINES_SPDK_RAID_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The asynchronous block-device interface every storage stack in this
+ * repository implements: the raw SSD model, the NVMe-oF initiator view of
+ * a remote drive, and the three RAID virtual block devices (dRAID, SPDK
+ * baseline, Linux MD baseline).
+ *
+ * The interface mirrors the SPDK bdev layer: submit + completion callback,
+ * no blocking, no locks exposed to callers.
+ */
+
+#ifndef DRAID_BLOCKDEV_BLOCK_DEVICE_H
+#define DRAID_BLOCKDEV_BLOCK_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "ec/buffer.h"
+
+namespace draid::blockdev {
+
+/** Completion status of a block I/O. */
+enum class IoStatus
+{
+    kOk,
+    kError,
+    kTimedOut,
+};
+
+/** Completion callback for writes. */
+using WriteCallback = std::function<void(IoStatus)>;
+
+/** Completion callback for reads; the buffer holds `length` bytes. */
+using ReadCallback = std::function<void(IoStatus, ec::Buffer)>;
+
+/** An asynchronous virtual block device. */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    /** Usable capacity in bytes. */
+    virtual std::uint64_t sizeBytes() const = 0;
+
+    /** Read [offset, offset+length). */
+    virtual void read(std::uint64_t offset, std::uint32_t length,
+                      ReadCallback cb) = 0;
+
+    /** Write data.size() bytes at @p offset. */
+    virtual void write(std::uint64_t offset, ec::Buffer data,
+                       WriteCallback cb) = 0;
+};
+
+} // namespace draid::blockdev
+
+#endif // DRAID_BLOCKDEV_BLOCK_DEVICE_H

@@ -1,0 +1,89 @@
+#include "blockdev/nvmf_target.h"
+
+#include <utility>
+
+namespace draid::blockdev {
+
+NvmfTarget::NvmfTarget(cluster::Cluster &cluster, std::uint32_t index)
+    : cluster_(cluster), index_(index), node_(cluster.target(index))
+{
+    cluster_.fabric().setEndpoint(node_.id(), this);
+}
+
+void
+NvmfTarget::onMessage(const net::Message &msg)
+{
+    switch (msg.capsule.opcode) {
+      case proto::Opcode::kRead:
+        handleRead(msg);
+        break;
+      case proto::Opcode::kWrite:
+        handleWrite(msg);
+        break;
+      default:
+        // A plain NVMe-oF target does not understand dRAID opcodes.
+        sendCompletion(msg.from, msg.capsule.commandId,
+                       proto::Status::kFailed);
+        break;
+    }
+}
+
+void
+NvmfTarget::handleRead(const net::Message &msg)
+{
+    const auto cmd = msg.capsule;
+    const auto from = msg.from;
+    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd, from]() {
+        node_.ssd().read(cmd.offset, cmd.length,
+                         [this, cmd, from](IoStatus st, ec::Buffer data) {
+            if (st != IoStatus::kOk) {
+                sendCompletion(from, cmd.commandId, proto::Status::kFailed);
+                return;
+            }
+            // Push the data, then the response capsule (RDMA transport
+            // binding order).
+            cluster_.fabric().rdmaWrite(node_.id(), from, data.size(),
+                                        [this, cmd, from,
+                                         data = std::move(data)]() {
+                sendCompletion(from, cmd.commandId, proto::Status::kSuccess,
+                               data);
+            });
+        });
+    });
+}
+
+void
+NvmfTarget::handleWrite(const net::Message &msg)
+{
+    const auto cmd = msg.capsule;
+    const auto from = msg.from;
+    auto payload = msg.payload;
+    node_.cpu().execute(cluster_.config().serverCmdCost,
+                        [this, cmd, from, payload = std::move(payload)]() {
+        // Pull the payload from the initiator.
+        cluster_.fabric().rdmaRead(node_.id(), from, cmd.length,
+                                   [this, cmd, from,
+                                    payload = std::move(payload)]() {
+            node_.ssd().write(cmd.offset, payload, [this, cmd,
+                                                    from](IoStatus st) {
+                sendCompletion(from, cmd.commandId,
+                               st == IoStatus::kOk ? proto::Status::kSuccess
+                                                   : proto::Status::kFailed);
+            });
+        });
+    });
+}
+
+void
+NvmfTarget::sendCompletion(sim::NodeId to, std::uint64_t command_id,
+                           proto::Status status, ec::Buffer payload)
+{
+    proto::Capsule c;
+    c.opcode = proto::Opcode::kCompletion;
+    c.commandId = command_id;
+    c.status = status;
+    cluster_.fabric().send(net::Message{node_.id(), to, std::move(c),
+                                        std::move(payload)});
+}
+
+} // namespace draid::blockdev

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain NVMe-oF target: serves standard Read/Write capsules against the
+ * node's local SSD. This is the storage-server side of both baselines
+ * (Linux MD and the SPDK RAID POC access remote drives through exactly
+ * this path); dRAID's server-side controller extends it with the four
+ * dRAID opcodes.
+ *
+ * Wire behaviour follows the RDMA transport binding: a write pulls its
+ * payload from the initiator with RDMA READ; a read pushes data with RDMA
+ * WRITE and then sends a response capsule.
+ */
+
+#ifndef DRAID_BLOCKDEV_NVMF_TARGET_H
+#define DRAID_BLOCKDEV_NVMF_TARGET_H
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "net/fabric.h"
+
+namespace draid::blockdev {
+
+/** NVMe-oF target bound to one storage server. */
+class NvmfTarget : public net::Endpoint
+{
+  public:
+    /**
+     * Binds to target @p index of @p cluster and installs itself as the
+     * node's fabric endpoint.
+     */
+    NvmfTarget(cluster::Cluster &cluster, std::uint32_t index);
+
+    void onMessage(const net::Message &msg) override;
+
+  protected:
+    /** Standard read handling; shared with the dRAID subclass. */
+    void handleRead(const net::Message &msg);
+
+    /** Standard write handling; shared with the dRAID subclass. */
+    void handleWrite(const net::Message &msg);
+
+    /** Send a completion capsule for @p cmd back to @p to. */
+    void sendCompletion(sim::NodeId to, std::uint64_t command_id,
+                        proto::Status status, ec::Buffer payload = {});
+
+    cluster::Cluster &cluster_;
+    std::uint32_t index_;
+    cluster::Node &node_;
+};
+
+} // namespace draid::blockdev
+
+#endif // DRAID_BLOCKDEV_NVMF_TARGET_H

@@ -1,0 +1,43 @@
+#include "cluster/cluster.h"
+
+namespace draid::cluster {
+
+Cluster::Cluster(const TestbedConfig &config, std::uint32_t num_targets,
+                 std::vector<double> target_goodputs)
+    : config_(config), sim_(), fabric_(sim_, config.propagation)
+{
+    host_ = std::make_unique<Node>(sim_, hostId(), config.nicGoodput100g,
+                                   config.nicPerMessage, std::nullopt);
+    fabric_.attach(hostId(), host_->nic(), nullptr);
+
+    targets_.reserve(num_targets);
+    for (std::uint32_t i = 0; i < num_targets; ++i) {
+        const double goodput = i < target_goodputs.size()
+                                   ? target_goodputs[i]
+                                   : config.nicGoodput100g;
+        auto node = std::make_unique<Node>(sim_, targetNodeId(i), goodput,
+                                           config.nicPerMessage, config.ssd);
+        fabric_.attach(targetNodeId(i), node->nic(), nullptr);
+        targets_.push_back(std::move(node));
+    }
+}
+
+void
+Cluster::failTarget(std::uint32_t i)
+{
+    fabric_.setNodeDown(targetNodeId(i), true);
+}
+
+void
+Cluster::recoverTarget(std::uint32_t i)
+{
+    fabric_.setNodeDown(targetNodeId(i), false);
+}
+
+bool
+Cluster::isTargetFailed(std::uint32_t i) const
+{
+    return fabric_.isDown(targetNodeId(i));
+}
+
+} // namespace draid::cluster

@@ -1,0 +1,14 @@
+#include "cluster/node.h"
+
+namespace draid::cluster {
+
+Node::Node(sim::Simulator &sim, sim::NodeId id, double nic_goodput,
+           sim::Tick nic_per_msg, std::optional<nvme::SsdConfig> ssd)
+    : id_(id),
+      nic_(sim, nic_goodput, nic_per_msg),
+      cpu_(sim),
+      ssd_(ssd ? std::make_unique<nvme::Ssd>(sim, *ssd) : nullptr)
+{
+}
+
+} // namespace draid::cluster

@@ -1,0 +1,3 @@
+// TestbedConfig is a plain aggregate; this translation unit compiles the
+// header standalone for include hygiene.
+#include "cluster/testbed.h"

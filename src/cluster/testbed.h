@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Testbed calibration: every constant of the simulated CloudLab
+ * c6525-100g deployment in one place (paper §9.1).
+ *
+ * Calibration sources, all from the paper itself:
+ *  - NIC goodput ~92 Gbps out of 100 Gbps (§9.2) -> 11.5e9 B/s/direction;
+ *    the heterogeneous experiments use 25 Gbps NICs -> 2.875e9 B/s.
+ *  - Single-drive write throughput ~19 Gbps (§2.3) -> 2.375e9 B/s.
+ *  - Read bandwidth such that six drives saturate the NIC (§9.2)
+ *    -> 3.2e9 B/s (typical of the Dell Ent NVMe AGN MU drive).
+ *  - ISA-L-class XOR at ~12 GB/s/core, GF multiply-accumulate at ~6 GB/s
+ *    (§8); with these rates dRAID's server-side work stays below 25% of
+ *    one core per SSD, matching §7.
+ *  - Linux MD per-page costs chosen so MD reproduces the absolute levels
+ *    of Figures 9-12 (~2 GB/s writes, 834 MB/s degraded reads).
+ */
+
+#ifndef DRAID_CLUSTER_TESTBED_H
+#define DRAID_CLUSTER_TESTBED_H
+
+#include <cstdint>
+
+#include "nvme/ssd.h"
+#include "sim/types.h"
+
+namespace draid::cluster {
+
+/** All tunable constants of the simulated testbed. */
+struct TestbedConfig
+{
+    // --- fabric ---
+    double nicGoodput100g = 11.5e9;  ///< bytes/s per direction (~92 Gbps)
+    double nicGoodput25g = 2.875e9;  ///< bytes/s per direction (~23 Gbps)
+    sim::Tick nicPerMessage = 250;   ///< per-message port occupancy
+    sim::Tick propagation = 1500;    ///< one-way wire + switch delay
+
+    // --- drives ---
+    nvme::SsdConfig ssd;
+
+    // --- compute kernels (per core) ---
+    double xorBw = 12e9; ///< XOR parity bytes/s (ISA-L class)
+    double gfBw = 6e9;   ///< GF(2^8) multiply-accumulate bytes/s
+
+    // --- per-command CPU costs ---
+    sim::Tick hostCmdCost = 550;        ///< host: build + post one command
+    sim::Tick hostCompletionCost = 250; ///< host: retire one completion
+    sim::Tick lockCost = 450;           ///< SPDK POC stripe lock pair
+    sim::Tick serverCmdCost = 600;      ///< target: parse + start a command
+
+    // --- Linux MD model ---
+    sim::Tick mdPageCost = 480;    ///< per-4KB page on the single md thread
+    sim::Tick mdRequestCost = 2500;///< kernel block layer per request
+    sim::Tick mdQueueDelay = 18 * sim::kMicrosecond; ///< kernel I/O path
+
+    // --- failure handling (§5.4) ---
+    sim::Tick opTimeout = 50 * sim::kMillisecond;
+
+    // --- bandwidth-aware reconstruction (§6.2) ---
+    sim::Tick rebalancePeriod = 10 * sim::kMillisecond;
+    double ewmaAlpha = 0.3;
+
+    /** The paper's default array shape (§9.1). */
+    static constexpr std::uint32_t kDefaultChunkKb = 512;
+    static constexpr std::uint32_t kDefaultTargets = 8;
+    static constexpr std::uint32_t kDefaultIoKb = 128;
+};
+
+} // namespace draid::cluster
+
+#endif // DRAID_CLUSTER_TESTBED_H

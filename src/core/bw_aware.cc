@@ -1,0 +1,112 @@
+#include "core/bw_aware.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace draid::core {
+
+std::vector<double>
+solveReducerProbabilities(const std::vector<double> &available_bw,
+                          double load)
+{
+    const std::size_t n = available_bw.size();
+    assert(n > 0);
+    std::vector<double> probs(n, 1.0 / static_cast<double>(n));
+    if (load <= 0.0 || n == 1)
+        return probs;
+
+    // Water-filling on R* = B_i - P_i * load with sum P_i = 1:
+    // P_i = max(0, B_i - R*) / load, so find R* with
+    //   sum_i max(0, B_i - R*) = load.
+    // The left side is continuous and decreasing in R*; scan the sorted
+    // breakpoints to find the active set.
+    std::vector<double> sorted(available_bw);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+    double level = 0.0;
+    bool found = false;
+    double prefix = 0.0;
+    for (std::size_t m = 1; m <= n; ++m) {
+        prefix += sorted[m - 1];
+        // With the top-m candidates active: R* = (prefix - load) / m.
+        const double candidate =
+            (prefix - load) / static_cast<double>(m);
+        const double lower = m < n ? sorted[m] : -1e300;
+        if (candidate >= lower) {
+            level = candidate;
+            found = true;
+            break;
+        }
+    }
+    assert(found);
+    (void)found;
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        probs[i] = std::max(0.0, available_bw[i] - level) / load;
+        total += probs[i];
+    }
+    // Normalize away floating-point drift.
+    if (total > 0.0) {
+        for (auto &p : probs)
+            p /= total;
+    } else {
+        std::fill(probs.begin(), probs.end(),
+                  1.0 / static_cast<double>(n));
+    }
+    return probs;
+}
+
+std::uint32_t
+RandomReducerSelector::select(const std::vector<std::uint32_t> &candidates,
+                              sim::Rng &rng)
+{
+    assert(!candidates.empty());
+    return candidates[rng.nextBounded(candidates.size())];
+}
+
+void
+BwAwareReducerSelector::refresh(const std::vector<std::uint32_t> &targets,
+                                const std::vector<double> &available_bw,
+                                double observed_load, double fanin)
+{
+    assert(targets.size() == available_bw.size());
+    loadEwma_.update(observed_load);
+    targets_ = targets;
+    probs_ = solveReducerProbabilities(available_bw,
+                                       loadEwma_.value() * fanin);
+}
+
+std::uint32_t
+BwAwareReducerSelector::select(const std::vector<std::uint32_t> &candidates,
+                               sim::Rng &rng)
+{
+    assert(!candidates.empty());
+    // Restrict the plan to the offered candidates and renormalize.
+    double total = 0.0;
+    for (auto c : candidates)
+        total += probabilityOf(c);
+    if (total <= 0.0)
+        return candidates[rng.nextBounded(candidates.size())];
+
+    double draw = rng.nextDouble() * total;
+    for (auto c : candidates) {
+        draw -= probabilityOf(c);
+        if (draw <= 0.0)
+            return c;
+    }
+    return candidates.back();
+}
+
+double
+BwAwareReducerSelector::probabilityOf(std::uint32_t target) const
+{
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+        if (targets_[i] == target)
+            return probs_[i];
+    }
+    return 0.0;
+}
+
+} // namespace draid::core

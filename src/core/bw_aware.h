@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bandwidth-aware reconstruction (paper §6.2).
+ *
+ * Reducer selection for degraded reads / rebuilds. Random selection is
+ * optimal for homogeneous networks (Theorem 1); with heterogeneous NICs
+ * the probabilistic planner maximizes the minimum expected remaining
+ * bandwidth:
+ *
+ *     max  min_i  R_i,   R_i = B_i - P_i (n-1) L,
+ *     s.t. sum P_i = 1,  0 <= P_i <= 1
+ *
+ * solved exactly by water-filling. The dynamic variant replaces the known
+ * load L with an EWMA of observed reconstruction load and re-solves
+ * periodically.
+ */
+
+#ifndef DRAID_CORE_BW_AWARE_H
+#define DRAID_CORE_BW_AWARE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace draid::core {
+
+/** Exponentially weighted moving average. */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha) : alpha_(alpha) {}
+
+    /** Fold in one observation. */
+    void
+    update(double x)
+    {
+        value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+        seeded_ = true;
+    }
+
+    double value() const { return value_; }
+    bool seeded() const { return seeded_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool seeded_ = false;
+};
+
+/**
+ * Solve the max-min program above. @p available_bw is B_i per candidate,
+ * @p load is (n-1)*L — the total extra traffic a reducer absorbs per unit
+ * time. Returns the probability vector (sums to 1).
+ *
+ * Water-filling: the optimum equalizes R_i across every candidate with
+ * P_i > 0; candidates whose B_i is at or below the water level get
+ * P_i = 0. With load == 0 (or a single candidate) the split is uniform.
+ */
+std::vector<double> solveReducerProbabilities(
+    const std::vector<double> &available_bw, double load);
+
+/** Strategy for picking the reducer among surviving bdevs. */
+class ReducerSelector
+{
+  public:
+    virtual ~ReducerSelector() = default;
+
+    /**
+     * Pick one of @p candidates (target indices).
+     * @pre candidates is non-empty
+     */
+    virtual std::uint32_t select(const std::vector<std::uint32_t> &candidates,
+                                 sim::Rng &rng) = 0;
+};
+
+/** Uniform random choice (Theorem 1's optimum for homogeneous networks). */
+class RandomReducerSelector : public ReducerSelector
+{
+  public:
+    std::uint32_t select(const std::vector<std::uint32_t> &candidates,
+                         sim::Rng &rng) override;
+};
+
+/**
+ * Probability-weighted choice driven by externally supplied bandwidth
+ * estimates. The owner (DraidHost) periodically feeds fresh estimates of
+ * per-target available bandwidth and the EWMA reconstruction load; the
+ * selector re-solves and samples from the resulting distribution.
+ */
+class BwAwareReducerSelector : public ReducerSelector
+{
+  public:
+    explicit BwAwareReducerSelector(double ewma_alpha)
+        : loadEwma_(ewma_alpha)
+    {
+    }
+
+    /**
+     * Refresh the plan.
+     * @param targets       target index per entry
+     * @param available_bw  B_i estimate per entry (bytes/s)
+     * @param observed_load reconstruction bytes/s on the failed bdev since
+     *                      the last refresh
+     * @param fanin         n-1: transfers absorbed per reconstruction
+     */
+    void refresh(const std::vector<std::uint32_t> &targets,
+                 const std::vector<double> &available_bw,
+                 double observed_load, double fanin);
+
+    std::uint32_t select(const std::vector<std::uint32_t> &candidates,
+                         sim::Rng &rng) override;
+
+    /** Current probability for a target; 0 if unplanned. */
+    double probabilityOf(std::uint32_t target) const;
+
+    double loadEstimate() const { return loadEwma_.value(); }
+
+  private:
+    Ewma loadEwma_;
+    std::vector<std::uint32_t> targets_;
+    std::vector<double> probs_;
+};
+
+} // namespace draid::core
+
+#endif // DRAID_CORE_BW_AWARE_H

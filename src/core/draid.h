@@ -1,0 +1,87 @@
+/**
+ * @file
+ * dRAID public configuration and protocol conventions shared by the
+ * host-side and server-side controllers.
+ */
+
+#ifndef DRAID_CORE_DRAID_H
+#define DRAID_CORE_DRAID_H
+
+#include <cstdint>
+
+#include "raid/geometry.h"
+
+namespace draid::core {
+
+/** How the host picks the reducer for reconstruction (§6). */
+enum class ReducerPolicy
+{
+    kRandom,  ///< uniform over survivors (optimal when homogeneous, Thm. 1)
+    kBwAware, ///< §6.2 probabilistic max-min planner
+};
+
+/** Construction-time options of a dRAID array. */
+struct DraidOptions
+{
+    raid::RaidLevel level = raid::RaidLevel::kRaid5;
+    std::uint32_t chunkSize = 512 * 1024;
+
+    /** §5.3 parallel I/O pipeline on the data bdevs (ablation toggle). */
+    bool pipeline = true;
+
+    /**
+     * §5.2 non-blocking reduce: partial parities reduce before the Parity
+     * command arrives. false inserts the barrier the paper argues against
+     * (ablation toggle).
+     */
+    bool nonBlockingReduce = true;
+
+    /**
+     * Peer-to-peer partial-parity forwarding — the architectural core of
+     * dRAID. false relays partials through the host, costing host NIC
+     * bandwidth like a conventional distributed RAID (ablation toggle).
+     */
+    bool p2pForwarding = true;
+
+    ReducerPolicy reducerPolicy = ReducerPolicy::kRandom;
+
+    /** Full-stripe retries before declaring a device failed (§5.4). */
+    int maxRetries = 3;
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Wire command-id composition: high bits carry the host operation id, the
+ * low byte a sub-command index. Data bdev sub-commands use their data-chunk
+ * index; the values below mark parity and reducer sub-commands. Peer
+ * capsules key their reduce session with the operation id.
+ * @{
+ */
+constexpr std::uint8_t kParitySub = 0xe0;  ///< P-parity sub-command
+constexpr std::uint8_t kQParitySub = 0xe1; ///< Q-parity sub-command
+constexpr std::uint8_t kReducerSub = 0xe2; ///< reconstruction reducer
+constexpr std::uint8_t kInitiatorSub = 0xff; ///< reserved by NvmfInitiator
+
+constexpr std::uint64_t
+makeCmdId(std::uint64_t op, std::uint8_t sub)
+{
+    return (op << 8) | sub;
+}
+
+constexpr std::uint64_t
+opOf(std::uint64_t cmd_id)
+{
+    return cmd_id >> 8;
+}
+
+constexpr std::uint8_t
+subOf(std::uint64_t cmd_id)
+{
+    return static_cast<std::uint8_t>(cmd_id & 0xff);
+}
+/** @} */
+
+} // namespace draid::core
+
+#endif // DRAID_CORE_DRAID_H

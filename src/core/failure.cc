@@ -1,0 +1,29 @@
+#include "core/failure.h"
+
+#include <utility>
+
+namespace draid::core {
+
+void
+DeadlineTable::arm(std::uint64_t id, sim::Tick delay,
+                   std::function<void()> expire)
+{
+    const std::uint64_t gen = nextGen_++;
+    armed_[id] = gen;
+    sim_.schedule(delay, [this, id, gen, expire = std::move(expire)]() {
+        auto it = armed_.find(id);
+        if (it == armed_.end() || it->second != gen)
+            return; // disarmed or re-armed since
+        armed_.erase(it);
+        ++expired_;
+        expire();
+    });
+}
+
+void
+DeadlineTable::disarm(std::uint64_t id)
+{
+    armed_.erase(id);
+}
+
+} // namespace draid::core

@@ -1,0 +1,72 @@
+#include "core/reconstruct.h"
+
+#include <cassert>
+#include <utility>
+
+namespace draid::core {
+
+RebuildJob::RebuildJob(sim::Simulator &sim, StripeFn fn,
+                       std::uint64_t num_stripes, std::uint32_t chunk_bytes,
+                       int window)
+    : sim_(sim),
+      fn_(std::move(fn)),
+      numStripes_(num_stripes),
+      chunkBytes_(chunk_bytes),
+      window_(window)
+{
+    assert(window_ > 0);
+}
+
+void
+RebuildJob::start(std::function<void(bool)> done)
+{
+    onFinished_ = std::move(done);
+    startTick_ = sim_.now();
+    if (numStripes_ == 0) {
+        finished_ = true;
+        endTick_ = sim_.now();
+        if (onFinished_)
+            onFinished_(true);
+        return;
+    }
+    pump();
+}
+
+void
+RebuildJob::pump()
+{
+    while (inFlight_ < window_ && next_ < numStripes_) {
+        const std::uint64_t stripe = next_++;
+        ++inFlight_;
+        fn_(stripe, [this](bool ok) { onStripeDone(ok); });
+    }
+}
+
+void
+RebuildJob::onStripeDone(bool ok)
+{
+    --inFlight_;
+    ++done_;
+    if (!ok)
+        ++failures_;
+    if (done_ == numStripes_) {
+        finished_ = true;
+        endTick_ = sim_.now();
+        if (onFinished_)
+            onFinished_(failures_ == 0);
+        return;
+    }
+    pump();
+}
+
+double
+RebuildJob::throughputMBps() const
+{
+    const sim::Tick dt = (finished_ ? endTick_ : sim_.now()) - startTick_;
+    if (dt <= 0)
+        return 0.0;
+    return static_cast<double>(done_) * chunkBytes_ / sim::toSeconds(dt) /
+           1e6;
+}
+
+} // namespace draid::core

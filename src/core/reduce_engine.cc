@@ -1,0 +1,78 @@
+#include "core/reduce_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "ec/xor_kernel.h"
+
+namespace draid::core {
+
+ReduceSession &
+ReduceEngine::obtain(std::uint64_t key)
+{
+    return sessions_[key];
+}
+
+ReduceSession *
+ReduceEngine::find(std::uint64_t key)
+{
+    auto it = sessions_.find(key);
+    return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void
+ReduceEngine::erase(std::uint64_t key)
+{
+    sessions_.erase(key);
+}
+
+namespace {
+
+/** Grow the accumulator so it covers [0, end). New bytes are zero. */
+void
+ensureCapacity(ReduceSession &s, std::uint32_t end)
+{
+    if (end <= s.accEnd && !s.acc.empty())
+        return;
+    const std::uint32_t new_end = std::max(end, s.accEnd);
+    ec::Buffer grown(new_end);
+    if (!s.acc.empty())
+        std::memcpy(grown.data(), s.acc.data(), s.accEnd);
+    s.acc = grown;
+    s.accEnd = new_end;
+}
+
+} // namespace
+
+void
+ReduceEngine::absorb(ReduceSession &s, std::uint32_t offset,
+                     const ec::Buffer &data)
+{
+    absorbNoCount(s, offset, data);
+    --s.remaining;
+}
+
+void
+ReduceEngine::absorbNoCount(ReduceSession &s, std::uint32_t offset,
+                            const ec::Buffer &data)
+{
+    ensureCapacity(s, offset + static_cast<std::uint32_t>(data.size()));
+    ec::xorInto(s.acc.data() + offset, data.data(), data.size());
+    ++s.absorbed;
+}
+
+bool
+ReduceEngine::readyToFinish(const ReduceSession &s)
+{
+    return s.hostCmdSeen && s.remaining == 0 && !s.preloadPending;
+}
+
+ec::Buffer
+ReduceEngine::finalWindow(const ReduceSession &s)
+{
+    assert(s.baseOffset + s.length <= s.accEnd);
+    return s.acc.slice(s.baseOffset, s.length);
+}
+
+} // namespace draid::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Online stripe scrubbing for DraidHost: md-style `check` / `repair`.
+ *
+ * Reads the whole stripe — data chunks and parity chunk(s) — through the
+ * ordinary remote-read path, recomputes the expected parity with the
+ * erasure-coding library, and (optionally) rewrites a mismatching parity
+ * chunk. Used operationally after crash recovery (§5.4 host failures:
+ * out-of-sync stripes found via the write-intent bitmap get scrubbed).
+ */
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/draid_host.h"
+#include "ec/raid5_codec.h"
+#include "ec/raid6_codec.h"
+
+namespace draid::core {
+
+void
+DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
+                       std::function<void(ScrubResult)> done)
+{
+    if (failed_) {
+        done(ScrubResult{});
+        return;
+    }
+    const std::uint32_t k = geom_.dataChunks();
+    const std::uint32_t chunk = geom_.chunkSize();
+    const std::uint64_t addr = geom_.deviceAddress(stripe, 0);
+    const bool raid6 = geom_.level() == raid::RaidLevel::kRaid6;
+
+    struct Ctx
+    {
+        std::vector<ec::Buffer> data;
+        ec::Buffer p;
+        ec::Buffer q;
+        int remaining = 0;
+        bool ok = true;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->data.assign(k, ec::Buffer());
+    ctx->remaining = static_cast<int>(k) + (raid6 ? 2 : 1);
+
+    auto verify = [this, ctx, stripe, addr, repair, raid6,
+                   done = std::move(done)]() mutable {
+        if (!ctx->ok) {
+            done(ScrubResult{});
+            return;
+        }
+        ec::Buffer expect_p, expect_q;
+        if (raid6)
+            ec::Raid6Codec::computePQ(ctx->data, expect_p, expect_q);
+        else
+            expect_p = ec::Raid5Codec::computeParity(ctx->data);
+
+        // Charge the verification XOR/GF work on the host core.
+        const std::uint64_t bytes = geom_.stripeDataSize();
+        cluster_.host().cpu().executeBytes(
+            bytes, cluster_.config().xorBw, 0,
+            [this, ctx, stripe, addr, repair, raid6,
+             expect_p = std::move(expect_p), expect_q = std::move(expect_q),
+             done = std::move(done)]() mutable {
+                const bool p_ok = ctx->p.contentEquals(expect_p);
+                const bool q_ok =
+                    !raid6 || ctx->q.contentEquals(expect_q);
+                if (p_ok && q_ok) {
+                    done(ScrubResult{true, true, false});
+                    return;
+                }
+                if (!repair) {
+                    done(ScrubResult{true, false, false});
+                    return;
+                }
+                // Repair: rewrite whichever parity chunk mismatched.
+                auto remaining = std::make_shared<int>(
+                    (p_ok ? 0 : 1) + (q_ok ? 0 : 1));
+                auto finish = [remaining,
+                               done = std::move(done)](
+                                  blockdev::IoStatus st) mutable {
+                    if (st != blockdev::IoStatus::kOk) {
+                        done(ScrubResult{false, false, false});
+                        return;
+                    }
+                    if (--*remaining == 0)
+                        done(ScrubResult{true, false, true});
+                };
+                if (!p_ok) {
+                    initiator_.writeRemote(targetOf(geom_.parityDevice(stripe)),
+                                           addr, expect_p, finish);
+                }
+                if (!q_ok) {
+                    initiator_.writeRemote(targetOf(geom_.qDevice(stripe)), addr,
+                                           expect_q, finish);
+                }
+            });
+    };
+
+    auto join = [ctx, verify](bool ok) mutable {
+        if (!ok)
+            ctx->ok = false;
+        if (--ctx->remaining == 0)
+            verify();
+    };
+
+    for (std::uint32_t i = 0; i < k; ++i) {
+        initiator_.readRemote(targetOf(geom_.dataDevice(stripe, i)), addr, chunk,
+                              [ctx, i, join](blockdev::IoStatus st,
+                                             ec::Buffer d) mutable {
+                                  if (st == blockdev::IoStatus::kOk)
+                                      ctx->data[i] = std::move(d);
+                                  join(st == blockdev::IoStatus::kOk);
+                              });
+    }
+    initiator_.readRemote(targetOf(geom_.parityDevice(stripe)), addr, chunk,
+                          [ctx, join](blockdev::IoStatus st,
+                                      ec::Buffer d) mutable {
+                              if (st == blockdev::IoStatus::kOk)
+                                  ctx->p = std::move(d);
+                              join(st == blockdev::IoStatus::kOk);
+                          });
+    if (raid6) {
+        initiator_.readRemote(targetOf(geom_.qDevice(stripe)), addr, chunk,
+                              [ctx, join](blockdev::IoStatus st,
+                                          ec::Buffer d) mutable {
+                                  if (st == blockdev::IoStatus::kOk)
+                                      ctx->q = std::move(d);
+                                  join(st == blockdev::IoStatus::kOk);
+                              });
+    }
+}
+
+} // namespace draid::core

@@ -1,0 +1,81 @@
+#include "ec/gf256.h"
+
+#include <cassert>
+
+namespace draid::ec {
+
+const Gf256 &
+Gf256::instance()
+{
+    static const Gf256 field;
+    return field;
+}
+
+Gf256::Gf256()
+{
+    // Generator g = 2, polynomial 0x11d.
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+        exp_[i] = static_cast<std::uint8_t>(x);
+        log_[x] = static_cast<std::uint8_t>(i);
+        x <<= 1;
+        if (x & 0x100)
+            x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i)
+        exp_[i] = exp_[i - 255];
+    log_[0] = 0; // Unused; mul() guards zero operands.
+}
+
+std::uint8_t
+Gf256::div(std::uint8_t a, std::uint8_t b) const
+{
+    assert(b != 0);
+    if (a == 0)
+        return 0;
+    return exp_[(log_[a] + 255 - log_[b]) % 255];
+}
+
+std::uint8_t
+Gf256::inv(std::uint8_t a) const
+{
+    assert(a != 0);
+    return exp_[(255 - log_[a]) % 255];
+}
+
+void
+Gf256::mulAccum(std::uint8_t c, const std::uint8_t *src, std::uint8_t *dst,
+                std::size_t len) const
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] ^= src[i];
+        return;
+    }
+    const unsigned lc = log_[c];
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t s = src[i];
+        if (s)
+            dst[i] ^= exp_[lc + log_[s]];
+    }
+}
+
+void
+Gf256::mulBlock(std::uint8_t c, const std::uint8_t *src, std::uint8_t *dst,
+                std::size_t len) const
+{
+    if (c == 0) {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] = 0;
+        return;
+    }
+    const unsigned lc = log_[c];
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] = s ? exp_[lc + log_[s]] : 0;
+    }
+}
+
+} // namespace draid::ec

@@ -1,0 +1,33 @@
+#include "ec/raid5_codec.h"
+
+#include <cassert>
+
+#include "ec/xor_kernel.h"
+
+namespace draid::ec {
+
+Buffer
+Raid5Codec::computeParity(const std::vector<Buffer> &data)
+{
+    assert(!data.empty());
+    Buffer p = data[0].clone();
+    for (std::size_t i = 1; i < data.size(); ++i) {
+        assert(data[i].size() == p.size());
+        xorInto(p, data[i]);
+    }
+    return p;
+}
+
+Buffer
+Raid5Codec::recover(const std::vector<Buffer> &survivors)
+{
+    return computeParity(survivors);
+}
+
+Buffer
+Raid5Codec::delta(const Buffer &old_chunk, const Buffer &new_chunk)
+{
+    return xorOf(old_chunk, new_chunk);
+}
+
+} // namespace draid::ec

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * RAID-5 codec: single XOR parity over k data chunks.
+ */
+
+#ifndef DRAID_EC_RAID5_CODEC_H
+#define DRAID_EC_RAID5_CODEC_H
+
+#include <vector>
+
+#include "ec/buffer.h"
+
+namespace draid::ec {
+
+/** Stateless RAID-5 parity generation and recovery. */
+class Raid5Codec
+{
+  public:
+    /**
+     * P = D_0 ^ D_1 ^ ... ^ D_{k-1}.
+     * @pre all chunks are non-empty and the same size
+     */
+    static Buffer computeParity(const std::vector<Buffer> &data);
+
+    /**
+     * Recover one lost chunk as the XOR of all surviving chunks (data and
+     * parity alike) of the same stripe — XOR's associativity makes the
+     * lost chunk's role irrelevant.
+     */
+    static Buffer recover(const std::vector<Buffer> &survivors);
+
+    /**
+     * Partial-parity delta for read-modify-write: old_chunk ^ new_chunk.
+     * Applying the delta to the old parity yields the new parity (§5).
+     */
+    static Buffer delta(const Buffer &old_chunk, const Buffer &new_chunk);
+};
+
+} // namespace draid::ec
+
+#endif // DRAID_EC_RAID5_CODEC_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RAID-6 codec: P (XOR) + Q (Reed-Solomon over GF(2^8), generator 2),
+ * following H. P. Anvin's "The mathematics of RAID-6".
+ *
+ * Q = sum_i g^i * D_i. Recovery covers every one- and two-erasure case:
+ * {D}, {P}, {Q}, {D,P}, {D,Q}, {D,D}, {P,Q}.
+ */
+
+#ifndef DRAID_EC_RAID6_CODEC_H
+#define DRAID_EC_RAID6_CODEC_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ec/buffer.h"
+
+namespace draid::ec {
+
+/** Stateless RAID-6 dual-parity generation and recovery. */
+class Raid6Codec
+{
+  public:
+    /** Compute both parities over the ordered data chunks. */
+    static void computePQ(const std::vector<Buffer> &data, Buffer &p,
+                          Buffer &q);
+
+    /** Compute only Q (used when P is updated incrementally). */
+    static Buffer computeQ(const std::vector<Buffer> &data);
+
+    /**
+     * RMW update of Q given a data delta: Q' = Q ^ g^idx * (old ^ new).
+     * @param q      parity to update in place
+     * @param delta  old_chunk ^ new_chunk
+     * @param idx    position of the chunk within the stripe's data chunks
+     */
+    static void applyQDelta(Buffer &q, const Buffer &delta, std::size_t idx);
+
+    /**
+     * Recover one missing data chunk using P (the RAID-5 path).
+     * @param data     stripe data chunks; data[missing] may be empty
+     * @param p        the P parity
+     * @param missing  index of the lost chunk
+     */
+    static Buffer recoverDataWithP(const std::vector<Buffer> &data,
+                                   const Buffer &p, std::size_t missing);
+
+    /** Recover one missing data chunk using Q (when P is also lost). */
+    static Buffer recoverDataWithQ(const std::vector<Buffer> &data,
+                                   const Buffer &q, std::size_t missing);
+
+    /**
+     * Recover two missing data chunks using both parities.
+     * @param data  stripe data chunks; entries x and y may be empty
+     * @param x, y  indices of the lost chunks, x < y
+     * @return pair written back into data[x], data[y]
+     */
+    static void recoverTwoData(std::vector<Buffer> &data, const Buffer &p,
+                               const Buffer &q, std::size_t x, std::size_t y);
+
+    /**
+     * General entry point: given the surviving subset, fill in every
+     * missing piece. At most two of {data chunks, P, Q} may be missing.
+     *
+     * @param data        data chunks; missing entries are empty Buffers and
+     *                    are filled on return
+     * @param p, q        parities; empty ones are recomputed on return
+     * @return false if more than two pieces are missing (unrecoverable)
+     */
+    static bool recover(std::vector<Buffer> &data, Buffer &p, Buffer &q);
+};
+
+} // namespace draid::ec
+
+#endif // DRAID_EC_RAID6_CODEC_H

@@ -1,0 +1,20 @@
+#include "net/nic.h"
+
+namespace draid::net {
+
+Nic::Nic(sim::Simulator &sim, double goodput, sim::Tick per_msg)
+    : goodput_(goodput),
+      tx_(sim, goodput, /*latency=*/0, per_msg),
+      rx_(sim, goodput, /*latency=*/0, per_msg)
+{
+}
+
+void
+Nic::setGoodput(double goodput)
+{
+    goodput_ = goodput;
+    tx_.setRate(goodput);
+    rx_.setRate(goodput);
+}
+
+} // namespace draid::net

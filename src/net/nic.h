@@ -1,0 +1,51 @@
+/**
+ * @file
+ * NIC model: one full-duplex port = two independent bandwidth pipes.
+ *
+ * The paper's central bottleneck is NIC bandwidth (§2.3): a 100 Gbps RNIC
+ * yields ~92 Gbps goodput per direction. Modeling tx and rx as separate
+ * pipes captures full-duplex behaviour — a read-modify-write that moves 2x
+ * the user bytes *outbound* halves write throughput even though the inbound
+ * direction is idle.
+ */
+
+#ifndef DRAID_NET_NIC_H
+#define DRAID_NET_NIC_H
+
+#include "sim/pipe.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace draid::net {
+
+/** A full-duplex NIC port. */
+class Nic
+{
+  public:
+    /**
+     * @param sim             owning simulator
+     * @param goodput         usable bandwidth per direction, bytes/sec
+     * @param per_msg         fixed per-message port occupancy (DMA setup,
+     *                        doorbells); bounds small-message rate
+     */
+    Nic(sim::Simulator &sim, double goodput, sim::Tick per_msg);
+
+    sim::Pipe &tx() { return tx_; }
+    sim::Pipe &rx() { return rx_; }
+    const sim::Pipe &tx() const { return tx_; }
+    const sim::Pipe &rx() const { return rx_; }
+
+    double goodput() const { return goodput_; }
+
+    /** Retarget both directions (used to model NIC swaps in tests). */
+    void setGoodput(double goodput);
+
+  private:
+    double goodput_;
+    sim::Pipe tx_;
+    sim::Pipe rx_;
+};
+
+} // namespace draid::net
+
+#endif // DRAID_NET_NIC_H

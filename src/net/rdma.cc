@@ -1,0 +1,3 @@
+// RdmaQp is header-only; this translation unit exists so the build system
+// compiles the header standalone (include-hygiene check).
+#include "net/rdma.h"

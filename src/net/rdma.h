@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RDMA reliable-connection (RC) queue pair abstraction.
+ *
+ * dRAID connects the host with every storage server, and storage servers
+ * with each other in pairs, over RDMA RC (§3). One QP is created per
+ * (local, remote) destination and shared by all bdevs on the server
+ * (§5.5 network sharing). The QP tracks per-connection traffic counters,
+ * which the Table-1 overhead bench and the bandwidth-aware reconstruction
+ * planner consume.
+ */
+
+#ifndef DRAID_NET_RDMA_H
+#define DRAID_NET_RDMA_H
+
+#include <cstdint>
+
+#include "net/fabric.h"
+
+namespace draid::net {
+
+/** One reliable connection between two nodes. */
+class RdmaQp
+{
+  public:
+    RdmaQp(Fabric &fabric, sim::NodeId local, sim::NodeId remote)
+        : fabric_(fabric), local_(local), remote_(remote)
+    {
+    }
+
+    sim::NodeId local() const { return local_; }
+    sim::NodeId remote() const { return remote_; }
+
+    /** Send a command capsule (two-sided). */
+    void
+    sendCapsule(proto::Capsule capsule, ec::Buffer payload = {})
+    {
+        ++capsulesSent_;
+        fabric_.send(Message{local_, remote_, std::move(capsule),
+                             std::move(payload)});
+    }
+
+    /** One-sided READ: pull @p bytes from the remote node. */
+    void
+    read(std::uint64_t bytes, sim::EventFn done)
+    {
+        bytesRead_ += bytes;
+        fabric_.rdmaRead(local_, remote_, bytes, std::move(done));
+    }
+
+    /** One-sided WRITE: push @p bytes to the remote node. */
+    void
+    write(std::uint64_t bytes, sim::EventFn done)
+    {
+        bytesWritten_ += bytes;
+        fabric_.rdmaWrite(local_, remote_, bytes, std::move(done));
+    }
+
+    std::uint64_t capsulesSent() const { return capsulesSent_; }
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  private:
+    Fabric &fabric_;
+    sim::NodeId local_;
+    sim::NodeId remote_;
+    std::uint64_t capsulesSent_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+} // namespace draid::net
+
+#endif // DRAID_NET_RDMA_H

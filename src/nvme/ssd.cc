@@ -1,0 +1,60 @@
+#include "nvme/ssd.h"
+
+#include <cmath>
+#include <utility>
+
+namespace draid::nvme {
+
+namespace {
+
+/** Channel "bytes" (= ns) for moving @p bytes at @p rate bytes/sec. */
+std::uint64_t
+scaled(std::uint64_t bytes, double rate)
+{
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(bytes) / rate * 1e9));
+}
+
+} // namespace
+
+Ssd::Ssd(sim::Simulator &sim, const SsdConfig &config)
+    : sim_(sim),
+      config_(config),
+      store_(config.capacity),
+      channel_(sim, 1e9, /*latency=*/0, config.perCommand)
+{
+}
+
+void
+Ssd::read(std::uint64_t offset, std::uint32_t length,
+          blockdev::ReadCallback cb)
+{
+    bytesRead_ += length;
+    channel_.transfer(scaled(length, config_.readBw),
+                      [this, offset, length, cb = std::move(cb)]() {
+        sim_.schedule(config_.readLatency, [this, offset, length,
+                                            cb = std::move(cb)]() {
+            ++reads_;
+            cb(blockdev::IoStatus::kOk, store_.readSync(offset, length));
+        });
+    });
+}
+
+void
+Ssd::write(std::uint64_t offset, ec::Buffer data, blockdev::WriteCallback cb)
+{
+    bytesWritten_ += data.size();
+    channel_.transfer(scaled(data.size(), config_.writeBw),
+                      [this, offset, data = std::move(data),
+                       cb = std::move(cb)]() {
+        sim_.schedule(config_.writeLatency, [this, offset,
+                                             data = std::move(data),
+                                             cb = std::move(cb)]() {
+            ++writes_;
+            store_.writeSync(offset, data);
+            cb(blockdev::IoStatus::kOk);
+        });
+    });
+}
+
+} // namespace draid::nvme

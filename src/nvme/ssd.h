@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NVMe SSD model: an in-memory backing store behind one shared media
+ * channel with distinct read and write service rates.
+ *
+ * The rates default to the paper's drive (Dell Ent NVMe AGN MU U.2
+ * 1.6 TB): ~19 Gbps (§2.3) sustained write, ~3.2 GB/s read. Reads and
+ * writes share the channel — concurrent mixed traffic divides the media
+ * bandwidth, which is what caps read-modify-write throughput at the
+ * "maximum bandwidth eight SSDs can provide" plateau the paper reports
+ * (§9.3). Fixed media latencies apply per direction on top of queueing.
+ */
+
+#ifndef DRAID_NVME_SSD_H
+#define DRAID_NVME_SSD_H
+
+#include <cstdint>
+#include <memory>
+
+#include "blockdev/block_device.h"
+#include "blockdev/memory_bdev.h"
+#include "sim/pipe.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace draid::nvme {
+
+/** Calibrated performance profile of one drive. */
+struct SsdConfig
+{
+    std::uint64_t capacity = 64ull << 30; ///< logical bytes
+    double readBw = 3.2e9;                ///< bytes/s
+    double writeBw = 2.375e9;             ///< bytes/s (~19 Gbps, §2.3)
+    sim::Tick readLatency = 84 * sim::kMicrosecond;
+    sim::Tick writeLatency = 14 * sim::kMicrosecond;
+    sim::Tick perCommand = 2 * sim::kMicrosecond; ///< channel occupancy/cmd
+};
+
+/** One simulated NVMe drive. */
+class Ssd : public blockdev::BlockDevice
+{
+  public:
+    Ssd(sim::Simulator &sim, const SsdConfig &config);
+
+    std::uint64_t sizeBytes() const override { return config_.capacity; }
+
+    void read(std::uint64_t offset, std::uint32_t length,
+              blockdev::ReadCallback cb) override;
+
+    void write(std::uint64_t offset, ec::Buffer data,
+               blockdev::WriteCallback cb) override;
+
+    /** Direct store access for scrub checks in tests (no timing). */
+    blockdev::MemoryBdev &store() { return store_; }
+    const blockdev::MemoryBdev &store() const { return store_; }
+
+    const SsdConfig &config() const { return config_; }
+
+    std::uint64_t readsCompleted() const { return reads_; }
+    std::uint64_t writesCompleted() const { return writes_; }
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** Shared-channel utilization accessor (rebuild load balancing). */
+    const sim::Pipe &channel() const { return channel_; }
+
+  private:
+    sim::Simulator &sim_;
+    SsdConfig config_;
+    blockdev::MemoryBdev store_;
+    /**
+     * Shared media channel, scaled to 1 byte/ns: a transfer of N "bytes"
+     * occupies the channel for N ns, so read and write service times are
+     * expressed by scaling the byte count with the per-direction rate.
+     */
+    sim::Pipe channel_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+} // namespace draid::nvme
+
+#endif // DRAID_NVME_SSD_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The dRAID command capsule: an NVMe-oF command capsule extended with the
+ * fields of Figure 5 (subtype, fwd-offset/length, next-dest, wait-num, and
+ * the RAID-6 extras next-dest2 / data-idx / second SG list).
+ *
+ * Capsules have a defined wire encoding so the protocol layer can be tested
+ * for round-trip fidelity; inside the simulation the struct is passed
+ * directly and only its wireSize() is charged to the fabric.
+ */
+
+#ifndef DRAID_PROTO_CAPSULE_H
+#define DRAID_PROTO_CAPSULE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/opcodes.h"
+#include "sim/types.h"
+
+namespace draid::proto {
+
+/** One scatter-gather element (remote address + length). */
+struct Sge
+{
+    std::uint64_t addr = 0;
+    std::uint32_t length = 0;
+
+    bool operator==(const Sge &) const = default;
+};
+
+/** An extended NVMe-oF command capsule. */
+struct Capsule
+{
+    // --- standard NVMe-oF command fields ---
+    std::uint64_t commandId = 0; ///< host-assigned operation tag
+    Opcode opcode = Opcode::kRead;
+    std::uint32_t nsid = 0;      ///< namespace = member-device index
+    std::uint64_t offset = 0;    ///< device byte offset of the chunk I/O
+    std::uint32_t length = 0;    ///< device byte length of the chunk I/O
+
+    // --- dRAID command parameters (§4) ---
+    Subtype subtype = Subtype::kNone;
+    std::uint32_t fwdOffset = 0;  ///< offset of the forwarded segment
+    std::uint32_t fwdLength = 0;  ///< length of the forwarded segment
+    sim::NodeId nextDest = sim::kInvalidNode; ///< partial-parity destination
+    std::uint16_t waitNum = 0;    ///< partial results the reducer expects
+
+    // --- other command data, dedicated to RAID-6 (§4) ---
+    sim::NodeId nextDest2 = sim::kInvalidNode; ///< Q-parity destination
+    std::uint16_t dataIdx = 0;    ///< chunk index (selects the Q coefficient)
+
+    /** Scatter-gather lists for P- and Q-bound data. */
+    std::vector<Sge> sgList;
+    std::vector<Sge> sgList2;
+
+    // --- reduce bookkeeping ---
+    std::uint64_t stripe = 0;     ///< stripe id; the reduce grouping key
+
+    // --- completion ---
+    Status status = Status::kSuccess;
+
+    bool operator==(const Capsule &) const = default;
+
+    /** Bytes this capsule occupies on the wire. */
+    std::uint32_t wireSize() const;
+
+    /** Serialize to the defined little-endian wire format. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Parse a capsule; nullopt on malformed input. */
+    static std::optional<Capsule> decode(const std::uint8_t *data,
+                                         std::size_t size);
+};
+
+} // namespace draid::proto
+
+#endif // DRAID_PROTO_CAPSULE_H

@@ -1,0 +1,44 @@
+#include "raid/stripe_lock.h"
+
+#include <cassert>
+#include <utility>
+
+namespace draid::raid {
+
+void
+StripeLockTable::acquire(std::uint64_t stripe, Grant granted)
+{
+    auto &st = locks_[stripe];
+    if (!st.held) {
+        st.held = true;
+        granted();
+        return;
+    }
+    ++contended_;
+    st.waiters.push_back(std::move(granted));
+}
+
+void
+StripeLockTable::release(std::uint64_t stripe)
+{
+    auto it = locks_.find(stripe);
+    assert(it != locks_.end() && it->second.held);
+    auto &st = it->second;
+    if (st.waiters.empty()) {
+        locks_.erase(it);
+        return;
+    }
+    Grant next = std::move(st.waiters.front());
+    st.waiters.pop_front();
+    // Lock stays held; ownership transfers to the waiter.
+    next();
+}
+
+bool
+StripeLockTable::isLocked(std::uint64_t stripe) const
+{
+    auto it = locks_.find(stripe);
+    return it != locks_.end() && it->second.held;
+}
+
+} // namespace draid::raid

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-stripe write planning: pick the write mode (full-stripe,
+ * read-modify-write, or reconstruct write) and enumerate the device I/Os
+ * every mode needs. Used by the host-side controllers of dRAID and of both
+ * baselines, so all systems make identical mode decisions (§9.1's fairness
+ * requirement).
+ */
+
+#ifndef DRAID_RAID_WRITE_PLAN_H
+#define DRAID_RAID_WRITE_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "raid/geometry.h"
+
+namespace draid::raid {
+
+/** The three RAID write modes (§2.1). */
+enum class WriteMode
+{
+    kFullStripe,      ///< all data chunks fully covered; no remote reads
+    kReadModifyWrite, ///< read old data + parity, apply deltas
+    kReconstructWrite,///< read untouched chunks, rebuild parity from scratch
+};
+
+/** One data chunk receiving new bytes in a stripe write. */
+struct WriteSegment
+{
+    std::uint32_t dataIdx; ///< data-chunk index within the stripe
+    std::uint32_t offset;  ///< byte offset within the chunk
+    std::uint32_t length;  ///< byte length
+};
+
+/** Plan for the portion of a write that falls in one stripe. */
+struct StripeWritePlan
+{
+    std::uint64_t stripe = 0;
+    WriteMode mode = WriteMode::kFullStripe;
+
+    /** Chunks receiving new data, ordered by dataIdx. */
+    std::vector<WriteSegment> writes;
+
+    /** Untouched data chunks to read whole (reconstruct write only). */
+    std::vector<std::uint32_t> rcwReads;
+
+    /** Parity byte range to update (union of deltas for RMW; whole chunk
+     * for RCW/FSW). */
+    std::uint32_t parityOffset = 0;
+    std::uint32_t parityLength = 0;
+
+    /** Partial parities the parity bdev must wait for (dRAID wait-num). */
+    std::uint32_t waitNum = 0;
+
+    /** Bytes of user data written in this stripe. */
+    std::uint64_t userBytes() const;
+};
+
+/**
+ * Splits a logical write into per-stripe plans and decides each stripe's
+ * mode by comparing the *bytes that must be read* from the drives:
+ *   RMW reads  = written bytes (old data) + parity window (x parities)
+ *   RCW reads  = untouched chunks + uncovered parts of written chunks
+ * choosing RMW iff it reads strictly fewer bytes. With the paper's default
+ * RAID-5 geometry (k=7, 512 KB chunks) this yields the §9.3 regime
+ * boundaries — RMW below 1536 KB, reconstruct write from 1536 KB to
+ * 3584 KB, full stripe at 3584 KB — while still picking RMW for small
+ * partial-chunk writes on narrow arrays (the Fig. 12 width-4 case).
+ */
+class WritePlanner
+{
+  public:
+    explicit WritePlanner(const Geometry &geom) : geom_(geom) {}
+
+    /** Plan the write [offset, offset+length). */
+    std::vector<StripeWritePlan> plan(std::uint64_t offset,
+                                      std::uint64_t length) const;
+
+    /** Plan a single stripe given its write segments. */
+    StripeWritePlan planStripe(std::uint64_t stripe,
+                               std::vector<WriteSegment> segs) const;
+
+  private:
+    const Geometry &geom_;
+};
+
+} // namespace draid::raid
+
+#endif // DRAID_RAID_WRITE_PLAN_H

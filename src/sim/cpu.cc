@@ -1,0 +1,51 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace draid::sim {
+
+void
+CpuCore::execute(Tick cost, EventFn done)
+{
+    assert(cost >= 0);
+    const Tick start = std::max(sim_.now(), busyUntil_);
+    const Tick end = start + cost;
+    busyUntil_ = end;
+    busyTime_ += cost;
+    statsBusy_ += cost;
+    sim_.scheduleAt(end, std::move(done));
+}
+
+void
+CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+                      EventFn done)
+{
+    assert(bytes_per_sec > 0.0);
+    const Tick cost =
+        fixed + static_cast<Tick>(std::ceil(
+                    static_cast<double>(bytes) / bytes_per_sec * kSecond));
+    execute(cost, std::move(done));
+}
+
+double
+CpuCore::utilization(Tick window_start) const
+{
+    const Tick now = sim_.now();
+    if (now <= window_start)
+        return 0.0;
+    const double busy = static_cast<double>(std::min(statsBusy_,
+                                                     now - window_start));
+    return busy / static_cast<double>(now - window_start);
+}
+
+void
+CpuCore::resetStats()
+{
+    statsBusy_ = std::max<Tick>(0, busyUntil_ - sim_.now());
+    statsStart_ = sim_.now();
+}
+
+} // namespace draid::sim

@@ -1,0 +1,62 @@
+#include "sim/pipe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace draid::sim {
+
+Pipe::Pipe(Simulator &sim, double bytes_per_sec, Tick latency, Tick per_op)
+    : sim_(sim), rate_(bytes_per_sec), latency_(latency), perOp_(per_op)
+{
+    assert(rate_ > 0.0);
+}
+
+void
+Pipe::setRate(double bytes_per_sec)
+{
+    assert(bytes_per_sec > 0.0);
+    rate_ = bytes_per_sec;
+}
+
+void
+Pipe::transfer(std::uint64_t bytes, EventFn done)
+{
+    const Tick service =
+        perOp_ + static_cast<Tick>(std::ceil(
+                     static_cast<double>(bytes) / rate_ * kSecond));
+    const Tick start = std::max(sim_.now(), busyUntil_);
+    const Tick end = start + service;
+
+    busyUntil_ = end;
+    busyTime_ += service;
+    statsBusy_ += service;
+    bytes_ += bytes;
+    ++ops_;
+
+    sim_.scheduleAt(end + latency_, std::move(done));
+}
+
+double
+Pipe::utilization(Tick window_start) const
+{
+    const Tick now = sim_.now();
+    if (now <= window_start)
+        return 0.0;
+    // Clamp: commitments may extend past `now`.
+    const double busy = static_cast<double>(std::min(statsBusy_,
+                                                     now - window_start));
+    return busy / static_cast<double>(now - window_start);
+}
+
+void
+Pipe::resetStats()
+{
+    bytes_ = 0;
+    ops_ = 0;
+    statsBusy_ = std::max<Tick>(0, busyUntil_ - sim_.now());
+    statsStart_ = sim_.now();
+}
+
+} // namespace draid::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pipe: a FIFO store-and-forward bandwidth resource.
+ *
+ * A Pipe models any component whose throughput is limited by a serial
+ * channel: a NIC port direction (tx or rx), an SSD read or write channel,
+ * or a PCIe link. Transfers are serviced in submission order; each transfer
+ * occupies the channel for `bytes / rate` (plus a fixed per-operation
+ * overhead), and the completion callback fires an additional `latency`
+ * after the channel is released (propagation / media latency that does not
+ * consume bandwidth).
+ *
+ * This simple model produces the two behaviours the evaluation depends on:
+ * a hard bandwidth ceiling under load, and queueing latency that grows with
+ * offered load.
+ */
+
+#ifndef DRAID_SIM_PIPE_H
+#define DRAID_SIM_PIPE_H
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace draid::sim {
+
+/** A FIFO bandwidth-limited channel. */
+class Pipe
+{
+  public:
+    /**
+     * @param sim        owning simulator
+     * @param bytes_per_sec  channel bandwidth
+     * @param latency    post-service latency added before the completion
+     *                   callback fires (does not occupy the channel)
+     * @param per_op     fixed channel occupancy added to every transfer
+     */
+    Pipe(Simulator &sim, double bytes_per_sec, Tick latency = 0,
+         Tick per_op = 0);
+
+    /**
+     * Submit a transfer of @p bytes; @p done fires when the last byte has
+     * traversed the channel plus the fixed latency.
+     */
+    void transfer(std::uint64_t bytes, EventFn done);
+
+    /** Change the channel bandwidth (takes effect for future transfers). */
+    void setRate(double bytes_per_sec);
+
+    /** Channel bandwidth in bytes per second. */
+    double rate() const { return rate_; }
+
+    /** Total bytes ever pushed through the channel. */
+    std::uint64_t bytesTransferred() const { return bytes_; }
+
+    /** Total transfers ever submitted. */
+    std::uint64_t opsTransferred() const { return ops_; }
+
+    /** Total ticks the channel has been (or is committed to be) busy. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Tick at which the channel becomes free given current commitments. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /**
+     * Fraction of time busy over [window_start, now]. Used by the
+     * bandwidth-aware reconstruction planner to estimate available
+     * bandwidth per node.
+     */
+    double utilization(Tick window_start) const;
+
+    /** Reset accounting counters (not the busy horizon). */
+    void resetStats();
+
+  private:
+    Simulator &sim_;
+    double rate_;
+    Tick latency_;
+    Tick perOp_;
+
+    Tick busyUntil_ = 0;
+    Tick busyTime_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t ops_ = 0;
+
+    // Stats window bookkeeping for utilization().
+    Tick statsStart_ = 0;
+    Tick statsBusy_ = 0;
+};
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_PIPE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and policies.
+ *
+ * A thin wrapper over xoshiro256** with explicit seeding. Every simulation
+ * component draws from an Rng instance it owns, so runs are reproducible
+ * bit-for-bit given the same seed.
+ */
+
+#ifndef DRAID_SIM_RNG_H
+#define DRAID_SIM_RNG_H
+
+#include <cstdint>
+
+namespace draid::sim {
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool nextBool(double p);
+
+    /** Exponentially distributed double with the given mean. */
+    double nextExponential(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_RNG_H

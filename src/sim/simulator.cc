@@ -1,0 +1,55 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace draid::sim {
+
+void
+Simulator::schedule(Tick delay, EventFn fn)
+{
+    assert(delay >= 0);
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Tick when, EventFn fn)
+{
+    assert(when >= now_);
+    queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void
+Simulator::run()
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+        // Moving out of a priority_queue top requires a const_cast; the
+        // element is popped immediately after, so this is safe.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        assert(ev.when >= now_);
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+}
+
+void
+Simulator::runUntil(Tick deadline)
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+        if (queue_.top().when > deadline)
+            break;
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    if (!stopped_ && now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace draid::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulator core: a virtual clock and an event queue.
+ *
+ * The simulator is single-threaded and fully deterministic: events that are
+ * scheduled for the same tick fire in scheduling order (FIFO tie-break by a
+ * monotonically increasing sequence number). There is deliberately no access
+ * to wall-clock time anywhere in the simulation.
+ */
+
+#ifndef DRAID_SIM_SIMULATOR_H
+#define DRAID_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace draid::sim {
+
+/** An event callback. Fired exactly once at its scheduled tick. */
+using EventFn = std::function<void()>;
+
+/**
+ * The discrete-event engine.
+ *
+ * All simulated components (pipes, CPU cores, NICs, SSDs, controllers) hold
+ * a reference to one Simulator and schedule continuation callbacks on it.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now.
+     * @pre delay >= 0
+     */
+    void schedule(Tick delay, EventFn fn);
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Run until the event queue drains or stop() is called. */
+    void run();
+
+    /**
+     * Run until the clock reaches @p deadline (inclusive of events at the
+     * deadline tick) or the queue drains. The clock is advanced to
+     * @p deadline even if the queue drains earlier.
+     */
+    void runUntil(Tick deadline);
+
+    /** Run for @p duration ticks from the current time. */
+    void runFor(Tick duration) { runUntil(now_ + duration); }
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** Number of events executed so far (for tests and sanity checks). */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_SIMULATOR_H

@@ -1,0 +1,117 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace draid::sim {
+
+void
+LatencyRecorder::record(Tick sample)
+{
+    samples_.push_back(sample);
+    sum_ += sample;
+    sorted_ = false;
+}
+
+Tick
+LatencyRecorder::min() const
+{
+    if (samples_.empty())
+        return 0;
+    sortIfNeeded();
+    return samples_.front();
+}
+
+Tick
+LatencyRecorder::max() const
+{
+    if (samples_.empty())
+        return 0;
+    sortIfNeeded();
+    return samples_.back();
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+}
+
+Tick
+LatencyRecorder::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0;
+    assert(p >= 0.0 && p <= 100.0);
+    sortIfNeeded();
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 *
+                                                   static_cast<double>(n)));
+    if (rank > 0)
+        --rank;
+    rank = std::min(rank, n - 1);
+    return samples_[rank];
+}
+
+void
+LatencyRecorder::clear()
+{
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = true;
+}
+
+void
+LatencyRecorder::sortIfNeeded() const
+{
+    if (!sorted_) {
+        auto &mut = const_cast<std::vector<Tick> &>(samples_);
+        std::sort(mut.begin(), mut.end());
+        const_cast<bool &>(sorted_) = true;
+    }
+}
+
+void
+ThroughputMeter::start(Tick now)
+{
+    bytes_ = 0;
+    ops_ = 0;
+    begin_ = now;
+    end_ = now;
+}
+
+void
+ThroughputMeter::complete(std::uint64_t bytes)
+{
+    bytes_ += bytes;
+    ++ops_;
+}
+
+void
+ThroughputMeter::finish(Tick now)
+{
+    end_ = now;
+}
+
+double
+ThroughputMeter::bandwidthMBps() const
+{
+    const Tick dt = end_ - begin_;
+    if (dt <= 0)
+        return 0.0;
+    return static_cast<double>(bytes_) / toSeconds(dt) / 1e6;
+}
+
+double
+ThroughputMeter::kiops() const
+{
+    const Tick dt = end_ - begin_;
+    if (dt <= 0)
+        return 0.0;
+    return static_cast<double>(ops_) / toSeconds(dt) / 1e3;
+}
+
+} // namespace draid::sim

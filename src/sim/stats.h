@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Measurement helpers: latency distributions and throughput meters.
+ */
+
+#ifndef DRAID_SIM_STATS_H
+#define DRAID_SIM_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace draid::sim {
+
+/**
+ * Records a distribution of latencies (in ticks) and computes summary
+ * statistics. Samples are kept in full; evaluation runs record at most a
+ * few hundred thousand operations.
+ */
+class LatencyRecorder
+{
+  public:
+    /** Add one sample. */
+    void record(Tick sample);
+
+    std::size_t count() const { return samples_.size(); }
+    Tick min() const;
+    Tick max() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /**
+     * p-th percentile by nearest-rank on the sorted samples, p in [0, 100].
+     * Returns 0 when empty.
+     */
+    Tick percentile(double p) const;
+
+    /** Mean in microseconds, the unit the paper plots. */
+    double meanMicros() const { return mean() / kMicrosecond; }
+
+    void clear();
+
+  private:
+    void sortIfNeeded() const;
+
+    std::vector<Tick> samples_;
+    mutable bool sorted_ = true;
+    Tick sum_ = 0;
+};
+
+/**
+ * Accumulates completed bytes/operations over a measurement window and
+ * reports bandwidth and IOPS in the paper's units.
+ */
+class ThroughputMeter
+{
+  public:
+    /** Mark the start of the measurement window. */
+    void start(Tick now);
+
+    /** Record a completed operation of @p bytes. */
+    void complete(std::uint64_t bytes);
+
+    /** Mark the end of the measurement window. */
+    void finish(Tick now);
+
+    std::uint64_t bytes() const { return bytes_; }
+    std::uint64_t ops() const { return ops_; }
+    Tick elapsed() const { return end_ - begin_; }
+
+    /** Bandwidth in MB/s (10^6 bytes per second, as FIO reports). */
+    double bandwidthMBps() const;
+
+    /** Completed operations per second, in thousands (KIOPS). */
+    double kiops() const;
+
+  private:
+    std::uint64_t bytes_ = 0;
+    std::uint64_t ops_ = 0;
+    Tick begin_ = 0;
+    Tick end_ = 0;
+};
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_STATS_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental time and identifier types shared by the whole simulator.
+ */
+
+#ifndef DRAID_SIM_TYPES_H
+#define DRAID_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace draid::sim {
+
+/** Simulated time in integer nanoseconds. */
+using Tick = std::int64_t;
+
+/** Convenience tick constants. */
+constexpr Tick kNanosecond = 1;
+constexpr Tick kMicrosecond = 1'000;
+constexpr Tick kMillisecond = 1'000'000;
+constexpr Tick kSecond = 1'000'000'000;
+
+/** Convert a tick count to floating-point seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert a tick count to floating-point microseconds. */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert floating-point seconds to ticks (round to nearest). */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/** Logical identifier of a node (host or storage server) in the cluster. */
+using NodeId = std::uint32_t;
+
+/** Identifier reserved for "no node". */
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_TYPES_H

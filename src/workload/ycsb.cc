@@ -1,0 +1,78 @@
+#include "workload/ycsb.h"
+
+namespace draid::workload {
+
+const char *
+YcsbGenerator::name(YcsbWorkload w)
+{
+    switch (w) {
+      case YcsbWorkload::kA: return "YCSB-A";
+      case YcsbWorkload::kB: return "YCSB-B";
+      case YcsbWorkload::kC: return "YCSB-C";
+      case YcsbWorkload::kD: return "YCSB-D";
+      case YcsbWorkload::kF: return "YCSB-F";
+    }
+    return "YCSB-?";
+}
+
+YcsbGenerator::YcsbGenerator(YcsbWorkload workload, YcsbDistribution dist,
+                             std::uint64_t num_records, std::uint64_t seed)
+    : workload_(workload),
+      dist_(dist),
+      records_(num_records),
+      rng_(seed),
+      zipf_(num_records),
+      latest_(num_records)
+{
+}
+
+std::uint64_t
+YcsbGenerator::pickKey()
+{
+    switch (dist_) {
+      case YcsbDistribution::kUniform:
+        return rng_.nextBounded(records_);
+      case YcsbDistribution::kZipfian:
+        return zipf_.next(rng_);
+      case YcsbDistribution::kLatest:
+        return latest_.next(rng_);
+    }
+    return 0;
+}
+
+YcsbOp
+YcsbGenerator::next()
+{
+    YcsbOp op;
+    const double p = rng_.nextDouble();
+    switch (workload_) {
+      case YcsbWorkload::kA:
+        op.type = p < 0.5 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate;
+        break;
+      case YcsbWorkload::kB:
+        op.type = p < 0.95 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate;
+        break;
+      case YcsbWorkload::kC:
+        op.type = YcsbOp::Type::kRead;
+        break;
+      case YcsbWorkload::kD:
+        op.type = p < 0.95 ? YcsbOp::Type::kRead : YcsbOp::Type::kInsert;
+        break;
+      case YcsbWorkload::kF:
+        op.type = p < 0.5 ? YcsbOp::Type::kRead
+                          : YcsbOp::Type::kReadModifyWrite;
+        break;
+    }
+
+    if (op.type == YcsbOp::Type::kInsert) {
+        op.key = records_++;
+        latest_.append();
+        if (dist_ == YcsbDistribution::kZipfian)
+            zipf_.grow(records_);
+    } else {
+        op.key = pickKey();
+    }
+    return op;
+}
+
+} // namespace draid::workload

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * YCSB operation generator (Cooper et al.): the standard core workloads
+ * A, B, C, D, F used in the paper's application evaluation (§9.6).
+ *
+ *   A: 50% read / 50% update          (zipfian or uniform)
+ *   B: 95% read /  5% update
+ *   C: 100% read
+ *   D: 95% read /  5% insert          (latest distribution for reads)
+ *   F: 50% read / 50% read-modify-write
+ */
+
+#ifndef DRAID_WORKLOAD_YCSB_H
+#define DRAID_WORKLOAD_YCSB_H
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "workload/zipfian.h"
+
+namespace draid::workload {
+
+/** Core workload letters. */
+enum class YcsbWorkload
+{
+    kA,
+    kB,
+    kC,
+    kD,
+    kF,
+};
+
+/** Request distribution over the key space. */
+enum class YcsbDistribution
+{
+    kUniform, ///< the paper's object-store setting (§9.6)
+    kZipfian,
+    kLatest, ///< implied by workload D
+};
+
+/** One generated operation. */
+struct YcsbOp
+{
+    enum class Type
+    {
+        kRead,
+        kUpdate,
+        kInsert,
+        kReadModifyWrite,
+    };
+
+    Type type = Type::kRead;
+    std::uint64_t key = 0;
+};
+
+/** Generates the operation stream for one workload. */
+class YcsbGenerator
+{
+  public:
+    YcsbGenerator(YcsbWorkload workload, YcsbDistribution dist,
+                  std::uint64_t num_records, std::uint64_t seed);
+
+    YcsbOp next();
+
+    /** Records present (grows as D inserts land). */
+    std::uint64_t recordCount() const { return records_; }
+
+    static const char *name(YcsbWorkload w);
+
+  private:
+    std::uint64_t pickKey();
+
+    YcsbWorkload workload_;
+    YcsbDistribution dist_;
+    std::uint64_t records_;
+    sim::Rng rng_;
+    ZipfianGenerator zipf_;
+    LatestGenerator latest_;
+};
+
+} // namespace draid::workload
+
+#endif // DRAID_WORKLOAD_YCSB_H

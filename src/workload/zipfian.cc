@@ -1,0 +1,54 @@
+#include "workload/zipfian.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace draid::workload {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    assert(n > 0);
+    zetan_ = zeta(0, n_);
+    zeta2_ = zeta(0, 2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+double
+ZipfianGenerator::zeta(std::uint64_t from, std::uint64_t to) const
+{
+    double sum = 0.0;
+    for (std::uint64_t i = from; i < to; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    return sum;
+}
+
+void
+ZipfianGenerator::grow(std::uint64_t n)
+{
+    if (n <= n_)
+        return;
+    zetan_ += zeta(n_, n);
+    n_ = n;
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfianGenerator::next(sim::Rng &rng)
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace draid::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Zipfian and latest-skewed key generators, following the YCSB reference
+ * implementation (Gray et al.'s rejection-free method with precomputed
+ * zeta).
+ */
+
+#ifndef DRAID_WORKLOAD_ZIPFIAN_H
+#define DRAID_WORKLOAD_ZIPFIAN_H
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace draid::workload {
+
+/** Zipf-distributed integers over [0, n). */
+class ZipfianGenerator
+{
+  public:
+    static constexpr double kDefaultTheta = 0.99;
+
+    ZipfianGenerator(std::uint64_t n, double theta = kDefaultTheta);
+
+    /** Draw the next value in [0, n) (rank 0 is the hottest). */
+    std::uint64_t next(sim::Rng &rng);
+
+    /**
+     * Grow the item count (used by the latest distribution as inserts
+     * arrive). Zeta is extended incrementally.
+     */
+    void grow(std::uint64_t n);
+
+    std::uint64_t itemCount() const { return n_; }
+
+  private:
+    double zeta(std::uint64_t from, std::uint64_t to) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+    double zeta2_;
+};
+
+/**
+ * "Latest" distribution: skewed toward the most recently inserted keys
+ * (YCSB workload D). next() returns a key index counted back from the
+ * current maximum.
+ */
+class LatestGenerator
+{
+  public:
+    explicit LatestGenerator(std::uint64_t n) : zipf_(n), max_(n) {}
+
+    std::uint64_t
+    next(sim::Rng &rng)
+    {
+        const std::uint64_t back = zipf_.next(rng);
+        return max_ - 1 - back;
+    }
+
+    void
+    append()
+    {
+        ++max_;
+        zipf_.grow(max_);
+    }
+
+  private:
+    ZipfianGenerator zipf_;
+    std::uint64_t max_;
+};
+
+} // namespace draid::workload
+
+#endif // DRAID_WORKLOAD_ZIPFIAN_H

@@ -1,0 +1,156 @@
+// Bandwidth-aware reconstruction: max-min solver properties, EWMA,
+// selector behaviour (paper §6.2).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/bw_aware.h"
+
+using namespace draid::core;
+using draid::sim::Rng;
+
+TEST(Solver, UniformWhenBandwidthEqual)
+{
+    auto p = solveReducerProbabilities({10e9, 10e9, 10e9, 10e9}, 5e9);
+    for (double x : p)
+        EXPECT_NEAR(x, 0.25, 1e-9);
+}
+
+TEST(Solver, ZeroLoadGivesUniform)
+{
+    auto p = solveReducerProbabilities({1e9, 20e9, 5e9}, 0.0);
+    for (double x : p)
+        EXPECT_NEAR(x, 1.0 / 3, 1e-9);
+}
+
+TEST(Solver, ProbabilitiesSumToOne)
+{
+    auto p = solveReducerProbabilities({2.875e9, 11.5e9, 11.5e9, 2.875e9,
+                                        11.5e9},
+                                       4e9);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+    for (double x : p) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0 + 1e-12);
+    }
+}
+
+TEST(Solver, FasterNodesGetMoreLoad)
+{
+    auto p = solveReducerProbabilities({2.875e9, 11.5e9}, 3e9);
+    EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Solver, EqualizedRemainingBandwidthAmongActive)
+{
+    const std::vector<double> bw{11.5e9, 11.5e9, 2.875e9};
+    const double load = 6e9;
+    auto p = solveReducerProbabilities(bw, load);
+    // R_i = B_i - P_i * load must be equal for all candidates with P_i>0.
+    std::vector<double> r;
+    for (std::size_t i = 0; i < bw.size(); ++i) {
+        if (p[i] > 1e-12)
+            r.push_back(bw[i] - p[i] * load);
+    }
+    ASSERT_GE(r.size(), 2u);
+    for (std::size_t i = 1; i < r.size(); ++i)
+        EXPECT_NEAR(r[i], r[0], 1.0);
+}
+
+TEST(Solver, SlowNodeExcludedUnderHeavyAsymmetry)
+{
+    // A very slow node below the water level must get probability 0.
+    auto p = solveReducerProbabilities({100e9, 100e9, 1e6}, 10e9);
+    EXPECT_NEAR(p[2], 0.0, 1e-9);
+    EXPECT_NEAR(p[0], 0.5, 1e-6);
+}
+
+TEST(Solver, MaximizesMinimumRemaining)
+{
+    // Compare against a uniform split: the solver's worst-case remaining
+    // bandwidth must be at least as good.
+    const std::vector<double> bw{11.5e9, 2.875e9, 2.875e9, 11.5e9};
+    const double load = 7e9;
+    auto p = solveReducerProbabilities(bw, load);
+
+    auto min_remaining = [&](const std::vector<double> &probs) {
+        double m = 1e300;
+        for (std::size_t i = 0; i < bw.size(); ++i)
+            m = std::min(m, bw[i] - probs[i] * load);
+        return m;
+    };
+    const std::vector<double> uniform(bw.size(), 1.0 / bw.size());
+    EXPECT_GE(min_remaining(p), min_remaining(uniform) - 1.0);
+}
+
+TEST(Ewma, FirstSampleSeeds)
+{
+    Ewma e(0.3);
+    EXPECT_FALSE(e.seeded());
+    e.update(100.0);
+    EXPECT_TRUE(e.seeded());
+    EXPECT_DOUBLE_EQ(e.value(), 100.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant)
+{
+    Ewma e(0.3);
+    e.update(0.0);
+    for (int i = 0; i < 50; ++i)
+        e.update(10.0);
+    EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, WeightsRecentSamples)
+{
+    Ewma e(0.5);
+    e.update(0.0);
+    e.update(100.0);
+    EXPECT_DOUBLE_EQ(e.value(), 50.0);
+}
+
+TEST(RandomSelector, CoversAllCandidates)
+{
+    RandomReducerSelector sel;
+    Rng rng(4);
+    std::vector<std::uint32_t> candidates{2, 5, 9};
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 3000; ++i)
+        ++hits[sel.select(candidates, rng)];
+    EXPECT_NEAR(hits[2], 1000, 150);
+    EXPECT_NEAR(hits[5], 1000, 150);
+    EXPECT_NEAR(hits[9], 1000, 150);
+    EXPECT_EQ(hits[0], 0);
+}
+
+TEST(BwAwareSelector, FollowsPlan)
+{
+    BwAwareReducerSelector sel(0.5);
+    sel.refresh({0, 1}, {100e9, 1e6}, 5e9, 3.0);
+    Rng rng(8);
+    int fast = 0;
+    const std::vector<std::uint32_t> candidates{0, 1};
+    for (int i = 0; i < 2000; ++i)
+        fast += sel.select(candidates, rng) == 0;
+    EXPECT_GT(fast, 1990); // slow node essentially excluded
+}
+
+TEST(BwAwareSelector, RestrictsToCandidates)
+{
+    BwAwareReducerSelector sel(0.5);
+    sel.refresh({0, 1, 2}, {10e9, 10e9, 10e9}, 2e9, 2.0);
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        const auto pick = sel.select({1, 2}, rng);
+        EXPECT_NE(pick, 0u);
+    }
+}
+
+TEST(BwAwareSelector, UnplannedCandidatesFallBackToUniform)
+{
+    BwAwareReducerSelector sel(0.5);
+    Rng rng(8);
+    const auto pick = sel.select({7, 8}, rng);
+    EXPECT_TRUE(pick == 7 || pick == 8);
+}

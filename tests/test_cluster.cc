@@ -1,0 +1,78 @@
+// Cluster assembly: node wiring, heterogeneous NICs, failure injection.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+using namespace draid;
+using namespace draid::cluster;
+
+TEST(Cluster, BuildsHostAndTargets)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 8);
+    EXPECT_EQ(c.numTargets(), 8u);
+    EXPECT_FALSE(c.host().hasSsd());
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(c.target(i).hasSsd());
+        EXPECT_EQ(c.target(i).id(), c.targetNodeId(i));
+    }
+}
+
+TEST(Cluster, NodeIdsAreStable)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 3);
+    EXPECT_EQ(c.hostId(), 0u);
+    EXPECT_EQ(c.targetNodeId(0), 1u);
+    EXPECT_EQ(c.targetNodeId(2), 3u);
+    EXPECT_EQ(c.targetIndexOf(c.targetNodeId(2)), 2u);
+}
+
+TEST(Cluster, DefaultNicIs100G)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 2);
+    EXPECT_DOUBLE_EQ(c.host().nic().goodput(), cfg.nicGoodput100g);
+    EXPECT_DOUBLE_EQ(c.target(0).nic().goodput(), cfg.nicGoodput100g);
+}
+
+TEST(Cluster, HeterogeneousNicOverrides)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 4, {cfg.nicGoodput25g, cfg.nicGoodput25g});
+    EXPECT_DOUBLE_EQ(c.target(0).nic().goodput(), cfg.nicGoodput25g);
+    EXPECT_DOUBLE_EQ(c.target(1).nic().goodput(), cfg.nicGoodput25g);
+    // Entries beyond the override vector fall back to 100 Gbps.
+    EXPECT_DOUBLE_EQ(c.target(2).nic().goodput(), cfg.nicGoodput100g);
+    EXPECT_DOUBLE_EQ(c.target(3).nic().goodput(), cfg.nicGoodput100g);
+}
+
+TEST(Cluster, FailAndRecoverTarget)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 2);
+    EXPECT_FALSE(c.isTargetFailed(1));
+    c.failTarget(1);
+    EXPECT_TRUE(c.isTargetFailed(1));
+    EXPECT_TRUE(c.fabric().isDown(c.targetNodeId(1)));
+    c.recoverTarget(1);
+    EXPECT_FALSE(c.isTargetFailed(1));
+}
+
+TEST(Cluster, SsdConfigPropagates)
+{
+    TestbedConfig cfg;
+    cfg.ssd.capacity = 123 << 20;
+    Cluster c(cfg, 1);
+    EXPECT_EQ(c.target(0).ssd().sizeBytes(), 123u << 20);
+}
+
+TEST(Cluster, SimulatorSharedAcrossComponents)
+{
+    TestbedConfig cfg;
+    Cluster c(cfg, 2);
+    c.sim().schedule(100, []() {});
+    c.sim().run();
+    EXPECT_EQ(c.sim().now(), 100);
+}

@@ -1,0 +1,81 @@
+// Regression: the reducer's own contribution must gate completion.
+//
+// Under load, every peer partial can reach the reducer before the
+// reducer's own union drive read completes; the last peer's absorb then
+// drives the outstanding count to zero. An earlier implementation
+// finished the reduction at that instant — persisting a rebuilt chunk
+// that was missing the reducer's own contribution (caught as exactly
+// `expected ^ reducer_chunk` on the spare). The fix blocks completion on
+// the local absorb, like the RMW parity preload.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/reconstruct.h"
+#include "draid_test_util.h"
+#include "workload/fio.h"
+
+using namespace draid;
+using namespace draid::testutil;
+
+TEST(DraidReducerRace, RebuildCorrectUnderPrecedingDegradedLoad)
+{
+    cluster::TestbedConfig cfg = smallConfig();
+    cfg.ssd.capacity = 1ull << 30;
+    cluster::Cluster cluster(cfg, 9);
+    core::DraidOptions o;
+    o.chunkSize = 256 * 1024;
+    core::DraidSystem sys(cluster, o, 8);
+    auto &host = sys.host();
+    const auto &g = host.geometry();
+
+    const std::uint64_t stripes = 64;
+    const std::uint64_t span = stripes * g.stripeDataSize();
+    ec::Buffer content(span);
+    content.fillPattern(7);
+    ASSERT_TRUE(writeSync(cluster.sim(), host, 0, content));
+
+    cluster.failTarget(3);
+    host.markFailed(3);
+
+    // The degraded read burst leaves the bdev CPU/SSD queues busy, which
+    // is what historically let peers outrun the reducer's own read.
+    workload::FioConfig fio;
+    fio.ioSize = 128 * 1024;
+    fio.readRatio = 1.0;
+    fio.ioDepth = 16;
+    fio.numOps = 200;
+    fio.workingSetBytes = span;
+    workload::FioJob job(cluster.sim(), host, fio);
+    auto r = job.run();
+    ASSERT_EQ(r.errors, 0u);
+
+    core::RebuildJob rebuild(
+        cluster.sim(),
+        [&](std::uint64_t stripe, std::function<void(bool)> done) {
+            host.reconstructChunk(stripe, 8, std::move(done));
+        },
+        stripes, g.chunkSize(), /*window=*/16);
+    bool ok = false;
+    rebuild.start([&](bool all_ok) {
+        ok = all_ok;
+        cluster.sim().stop();
+    });
+    cluster.sim().run();
+    ASSERT_TRUE(ok);
+
+    // Every rebuilt data chunk on the spare must be byte-identical.
+    for (std::uint64_t s = 0; s < stripes; ++s) {
+        if (g.roleOf(s, 3) != raid::ChunkRole::kData)
+            continue;
+        const std::uint32_t idx = g.dataIndexOf(s, 3);
+        const std::uint64_t uoff =
+            s * g.stripeDataSize() +
+            static_cast<std::uint64_t>(idx) * g.chunkSize();
+        ec::Buffer expect = content.slice(uoff, g.chunkSize());
+        ec::Buffer got = cluster.target(8).ssd().store().readSync(
+            g.deviceAddress(s, 0), g.chunkSize());
+        ASSERT_TRUE(got.contentEquals(expect)) << "stripe " << s;
+    }
+}

@@ -1,0 +1,155 @@
+// Full failure lifecycle: fail -> degraded service -> rebuild onto spare
+// -> swap the spare in -> healthy array serving from the new device.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/reconstruct.h"
+#include "draid_test_util.h"
+
+using namespace draid;
+using namespace draid::testutil;
+using core::DraidOptions;
+using core::RebuildJob;
+using raid::RaidLevel;
+
+namespace {
+
+DraidOptions
+opts(RaidLevel level)
+{
+    DraidOptions o;
+    o.level = level;
+    o.chunkSize = 64 * 1024;
+    return o;
+}
+
+void
+rebuildAll(DraidRig &rig, std::uint64_t stripes, std::uint32_t spare)
+{
+    RebuildJob job(
+        rig.sim(),
+        [&](std::uint64_t stripe, std::function<void(bool)> done) {
+            rig.host().reconstructChunk(stripe, spare, std::move(done));
+        },
+        stripes, rig.host().geometry().chunkSize());
+    bool ok = false;
+    job.start([&](bool all_ok) {
+        ok = all_ok;
+        rig.sim().stop();
+    });
+    rig.sim().run();
+    ASSERT_TRUE(ok);
+}
+
+} // namespace
+
+class DraidSwap : public ::testing::TestWithParam<RaidLevel>
+{
+};
+
+TEST_P(DraidSwap, FullLifecycleRestoresHealthyArray)
+{
+    // 7 targets, width 6; target 6 is the spare.
+    DraidRig rig(7, opts(GetParam()), 6);
+    const auto &g = rig.host().geometry();
+    const std::uint64_t stripes = 6;
+    const std::uint64_t span = stripes * g.stripeDataSize();
+
+    ec::Buffer content(span);
+    content.fillPattern(77);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), 0, content));
+
+    // Fail device 2, rebuild every stripe onto the spare, swap it in.
+    rig.cluster->failTarget(2);
+    rig.host().markFailed(2);
+    rebuildAll(rig, stripes, 6);
+    rig.host().replaceDevice(2, 6);
+
+    EXPECT_FALSE(rig.host().isDegraded());
+    EXPECT_EQ(rig.host().targetOf(2), 6u);
+
+    // All data readable through the healthy array — including chunks that
+    // lived on the dead device, now served by the spare.
+    bool ok = false;
+    ec::Buffer got = readSync(rig.sim(), rig.host(), 0,
+                              static_cast<std::uint32_t>(span), &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(got.contentEquals(content));
+
+    // No reconstruction should have been needed post-swap.
+    const auto degraded_before = rig.host().counters().degradedReads;
+    readSync(rig.sim(), rig.host(), 0, 4096, &ok);
+    EXPECT_EQ(rig.host().counters().degradedReads, degraded_before);
+}
+
+TEST_P(DraidSwap, WritesAfterSwapLandOnSpare)
+{
+    DraidRig rig(7, opts(GetParam()), 6);
+    const auto &g = rig.host().geometry();
+    ec::Buffer content(4 * g.stripeDataSize());
+    content.fillPattern(3);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), 0, content));
+
+    rig.cluster->failTarget(0);
+    rig.host().markFailed(0);
+    rebuildAll(rig, 4, 6);
+    rig.host().replaceDevice(0, 6);
+
+    const std::uint64_t spare_writes_before =
+        rig.cluster->target(6).ssd().writesCompleted();
+
+    // Write a chunk whose device is member 0 (now the spare); pick a
+    // stripe where device 0 holds data, not parity.
+    std::uint64_t stripe = 0;
+    while (g.roleOf(stripe, 0) != raid::ChunkRole::kData)
+        ++stripe;
+    const std::uint32_t fidx = g.dataIndexOf(stripe, 0);
+    const std::uint64_t off =
+        stripe * g.stripeDataSize() +
+        static_cast<std::uint64_t>(fidx) * g.chunkSize();
+    ec::Buffer data(8192);
+    data.fillPattern(9);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), off, data));
+    EXPECT_GT(rig.cluster->target(6).ssd().writesCompleted(),
+              spare_writes_before);
+
+    bool ok = false;
+    ec::Buffer got = readSync(rig.sim(), rig.host(), off, 8192, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(got.contentEquals(data));
+}
+
+TEST_P(DraidSwap, ScrubPassesAfterSwap)
+{
+    DraidRig rig(7, opts(GetParam()), 6);
+    const auto &g = rig.host().geometry();
+    ec::Buffer content(4 * g.stripeDataSize());
+    content.fillPattern(5);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), 0, content));
+
+    rig.cluster->failTarget(3);
+    rig.host().markFailed(3);
+    rebuildAll(rig, 4, 6);
+    rig.host().replaceDevice(3, 6);
+
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        core::DraidHost::ScrubResult r;
+        bool done = false;
+        rig.host().scrubStripe(s, false, [&](core::DraidHost::ScrubResult
+                                                 res) {
+            r = res;
+            done = true;
+            rig.sim().stop();
+        });
+        while (!done && rig.sim().pendingEvents() > 0)
+            rig.sim().run();
+        EXPECT_TRUE(r.ok) << "stripe " << s;
+        EXPECT_TRUE(r.consistent) << "stripe " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DraidSwap,
+                         ::testing::Values(RaidLevel::kRaid5,
+                                           RaidLevel::kRaid6));

@@ -1,0 +1,197 @@
+// Fabric: delivery, bandwidth charging, duplex independence, failure
+// injection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/rdma.h"
+#include "sim/simulator.h"
+
+using namespace draid;
+using namespace draid::net;
+using namespace draid::sim;
+
+namespace {
+
+class Recorder : public Endpoint
+{
+  public:
+    void
+    onMessage(const Message &msg) override
+    {
+        messages.push_back(msg);
+    }
+
+    std::vector<Message> messages;
+};
+
+struct Rig
+{
+    Simulator sim;
+    Fabric fabric{sim, 1500};
+    Nic nicA{sim, 1e9, 0};
+    Nic nicB{sim, 1e9, 0};
+    Recorder epA, epB;
+
+    Rig()
+    {
+        fabric.attach(0, nicA, &epA);
+        fabric.attach(1, nicB, &epB);
+    }
+};
+
+} // namespace
+
+TEST(Fabric, DeliversMessageToEndpoint)
+{
+    Rig rig;
+    proto::Capsule c;
+    c.opcode = proto::Opcode::kRead;
+    c.commandId = 42;
+    rig.fabric.send(Message{0, 1, c, {}});
+    rig.sim.run();
+    ASSERT_EQ(rig.epB.messages.size(), 1u);
+    EXPECT_EQ(rig.epB.messages[0].capsule.commandId, 42u);
+    EXPECT_EQ(rig.epB.messages[0].from, 0u);
+}
+
+TEST(Fabric, DeliveryIncludesPropagationDelay)
+{
+    Rig rig;
+    proto::Capsule c;
+    Tick delivered = -1;
+    class TimeEp : public Endpoint
+    {
+      public:
+        TimeEp(Simulator &s, Tick &t) : sim(s), t(t) {}
+        void onMessage(const Message &) override { t = sim.now(); }
+        Simulator &sim;
+        Tick &t;
+    } ep(rig.sim, delivered);
+    rig.fabric.setEndpoint(1, &ep);
+    rig.fabric.send(Message{0, 1, c, {}});
+    rig.sim.run();
+    // 64 B capsule at 1 B/ns + 1500 ns propagation.
+    EXPECT_EQ(delivered, 64 + 1500);
+}
+
+TEST(Fabric, RdmaReadChargesTargetTxAndInitiatorRx)
+{
+    Rig rig;
+    bool done = false;
+    rig.fabric.rdmaRead(0, 1, 1 << 20, [&]() { done = true; });
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.nicB.tx().bytesTransferred(), 1u << 20);
+    EXPECT_EQ(rig.nicA.rx().bytesTransferred(), 1u << 20);
+    EXPECT_EQ(rig.nicA.tx().bytesTransferred(), 0u);
+}
+
+TEST(Fabric, RdmaWriteChargesInitiatorTxAndTargetRx)
+{
+    Rig rig;
+    rig.fabric.rdmaWrite(0, 1, 4096, []() {});
+    rig.sim.run();
+    EXPECT_EQ(rig.nicA.tx().bytesTransferred(), 4096u);
+    EXPECT_EQ(rig.nicB.rx().bytesTransferred(), 4096u);
+}
+
+TEST(Fabric, FullDuplexDirectionsIndependent)
+{
+    Rig rig;
+    Tick t_read = -1, t_write = -1;
+    // Simultaneous opposite transfers should not serialize.
+    rig.fabric.rdmaRead(0, 1, 1000000, [&]() { t_read = rig.sim.now(); });
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t_write = rig.sim.now(); });
+    rig.sim.run();
+    EXPECT_EQ(t_read, 1000000 + 1500);
+    EXPECT_EQ(t_write, 1000000 + 1500);
+}
+
+TEST(Fabric, SameDirectionTransfersSerialize)
+{
+    Rig rig;
+    Tick t1 = -1, t2 = -1;
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t1 = rig.sim.now(); });
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t2 = rig.sim.now(); });
+    rig.sim.run();
+    EXPECT_EQ(t1, 1000000 + 1500);
+    EXPECT_EQ(t2, 2000000 + 1500);
+}
+
+TEST(Fabric, DownNodeDropsMessages)
+{
+    Rig rig;
+    rig.fabric.setNodeDown(1, true);
+    rig.fabric.send(Message{0, 1, proto::Capsule{}, {}});
+    bool done = false;
+    rig.fabric.rdmaRead(0, 1, 100, [&]() { done = true; });
+    rig.sim.run();
+    EXPECT_TRUE(rig.epB.messages.empty());
+    EXPECT_FALSE(done);
+    EXPECT_EQ(rig.fabric.messagesDropped(), 2u);
+
+    rig.fabric.setNodeDown(1, false);
+    rig.fabric.send(Message{0, 1, proto::Capsule{}, {}});
+    rig.sim.run();
+    EXPECT_EQ(rig.epB.messages.size(), 1u);
+}
+
+TEST(Fabric, ExtraDelayInjected)
+{
+    Rig rig;
+    Tick t = -1;
+    class TimeEp : public Endpoint
+    {
+      public:
+        TimeEp(Simulator &s, Tick &t) : sim(s), t(t) {}
+        void onMessage(const Message &) override { t = sim.now(); }
+        Simulator &sim;
+        Tick &t;
+    } ep(rig.sim, t);
+    rig.fabric.setEndpoint(1, &ep);
+    rig.fabric.setExtraDelay(1, 10000);
+    rig.fabric.send(Message{0, 1, proto::Capsule{}, {}});
+    rig.sim.run();
+    EXPECT_EQ(t, 64 + 1500 + 10000);
+}
+
+TEST(Fabric, PayloadHandleTravelsWithCapsule)
+{
+    Rig rig;
+    ec::Buffer payload(128);
+    payload.fillPattern(5);
+    rig.fabric.send(Message{0, 1, proto::Capsule{}, payload});
+    rig.sim.run();
+    ASSERT_EQ(rig.epB.messages.size(), 1u);
+    EXPECT_TRUE(rig.epB.messages[0].payload.contentEquals(payload));
+}
+
+TEST(RdmaQp, CountsTraffic)
+{
+    Rig rig;
+    RdmaQp qp(rig.fabric, 0, 1);
+    qp.sendCapsule(proto::Capsule{});
+    qp.read(100, []() {});
+    qp.write(200, []() {});
+    rig.sim.run();
+    EXPECT_EQ(qp.capsulesSent(), 1u);
+    EXPECT_EQ(qp.bytesRead(), 100u);
+    EXPECT_EQ(qp.bytesWritten(), 200u);
+}
+
+TEST(Fabric, MessagesFromOneSourcePreserveOrder)
+{
+    Rig rig;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        proto::Capsule c;
+        c.commandId = i;
+        rig.fabric.send(Message{0, 1, c, {}});
+    }
+    rig.sim.run();
+    ASSERT_EQ(rig.epB.messages.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(rig.epB.messages[i].capsule.commandId, i);
+}

@@ -1,0 +1,82 @@
+// DeadlineTable: arm/disarm/re-arm semantics (§5.4 explicit timeouts).
+
+#include <gtest/gtest.h>
+
+#include "core/failure.h"
+#include "sim/simulator.h"
+
+using draid::core::DeadlineTable;
+using draid::sim::Simulator;
+
+TEST(DeadlineTable, FiresAfterDelay)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    bool fired = false;
+    t.arm(1, 1000, [&]() { fired = true; });
+    sim.runUntil(999);
+    EXPECT_FALSE(fired);
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(t.expiredCount(), 1u);
+    EXPECT_FALSE(t.isArmed(1));
+}
+
+TEST(DeadlineTable, DisarmPreventsFiring)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    bool fired = false;
+    t.arm(1, 1000, [&]() { fired = true; });
+    t.disarm(1);
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(t.expiredCount(), 0u);
+}
+
+TEST(DeadlineTable, ReArmSupersedes)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    int fired = 0;
+    t.arm(1, 1000, [&]() { fired = 1; });
+    t.arm(1, 5000, [&]() { fired = 2; });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(t.expiredCount(), 1u);
+}
+
+TEST(DeadlineTable, IndependentIds)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    bool a = false, b = false;
+    t.arm(1, 100, [&]() { a = true; });
+    t.arm(2, 200, [&]() { b = true; });
+    t.disarm(1);
+    sim.run();
+    EXPECT_FALSE(a);
+    EXPECT_TRUE(b);
+}
+
+TEST(DeadlineTable, DisarmAfterFiringIsNoOp)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    t.arm(1, 10, []() {});
+    sim.run();
+    t.disarm(1); // must not crash or corrupt
+    EXPECT_FALSE(t.isArmed(1));
+}
+
+TEST(DeadlineTable, IdReusableAfterExpiry)
+{
+    Simulator sim;
+    DeadlineTable t(sim);
+    int fired = 0;
+    t.arm(1, 10, [&]() { ++fired; });
+    sim.run();
+    t.arm(1, 10, [&]() { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}

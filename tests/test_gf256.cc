@@ -1,0 +1,133 @@
+// GF(2^8) field axioms and RAID-6 generator properties.
+
+#include <gtest/gtest.h>
+
+#include "ec/gf256.h"
+
+using draid::ec::Gf256;
+
+TEST(Gf256, MultiplicationByZeroAndOne)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 0), 0);
+        EXPECT_EQ(gf.mul(0, static_cast<std::uint8_t>(a)), 0);
+        EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 1), a);
+    }
+}
+
+TEST(Gf256, MultiplicationCommutative)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 1; a < 256; a += 7) {
+        for (int b = 1; b < 256; b += 11) {
+            EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)),
+                      gf.mul(static_cast<std::uint8_t>(b),
+                             static_cast<std::uint8_t>(a)));
+        }
+    }
+}
+
+TEST(Gf256, MultiplicationAssociative)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 1; a < 256; a += 31) {
+        for (int b = 1; b < 256; b += 37) {
+            for (int c = 1; c < 256; c += 41) {
+                const auto x = static_cast<std::uint8_t>(a);
+                const auto y = static_cast<std::uint8_t>(b);
+                const auto z = static_cast<std::uint8_t>(c);
+                EXPECT_EQ(gf.mul(gf.mul(x, y), z), gf.mul(x, gf.mul(y, z)));
+            }
+        }
+    }
+}
+
+TEST(Gf256, DistributesOverXor)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 1; a < 256; a += 13) {
+        for (int b = 0; b < 256; b += 17) {
+            for (int c = 0; c < 256; c += 19) {
+                const auto x = static_cast<std::uint8_t>(a);
+                const auto y = static_cast<std::uint8_t>(b);
+                const auto z = static_cast<std::uint8_t>(c);
+                EXPECT_EQ(gf.mul(x, y ^ z), gf.mul(x, y) ^ gf.mul(x, z));
+            }
+        }
+    }
+}
+
+TEST(Gf256, InverseRoundTrips)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 1; a < 256; ++a) {
+        const auto x = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gf.mul(x, gf.inv(x)), 1) << "a=" << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    const auto &gf = Gf256::instance();
+    for (int a = 0; a < 256; a += 5) {
+        for (int b = 1; b < 256; b += 9) {
+            const auto x = static_cast<std::uint8_t>(a);
+            const auto y = static_cast<std::uint8_t>(b);
+            EXPECT_EQ(gf.div(gf.mul(x, y), y), x);
+        }
+    }
+}
+
+TEST(Gf256, GeneratorHasFullOrder)
+{
+    const auto &gf = Gf256::instance();
+    // g = 2 generates the whole multiplicative group: g^i distinct for
+    // i in [0, 255).
+    bool seen[256] = {};
+    for (unsigned i = 0; i < 255; ++i) {
+        const auto v = gf.pow2(i);
+        EXPECT_NE(v, 0);
+        EXPECT_FALSE(seen[v]) << "repeat at i=" << i;
+        seen[v] = true;
+    }
+    EXPECT_EQ(gf.pow2(255), gf.pow2(0));
+}
+
+TEST(Gf256, Pow2MatchesRepeatedDoubling)
+{
+    const auto &gf = Gf256::instance();
+    std::uint8_t v = 1;
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(gf.pow2(i), v);
+        v = gf.mul(v, 2);
+    }
+}
+
+TEST(Gf256, MulAccumMatchesScalarLoop)
+{
+    const auto &gf = Gf256::instance();
+    std::uint8_t src[257], dst[257], ref[257];
+    for (int i = 0; i < 257; ++i) {
+        src[i] = static_cast<std::uint8_t>(i * 7 + 3);
+        dst[i] = static_cast<std::uint8_t>(i * 13 + 5);
+        ref[i] = dst[i] ^ gf.mul(0x1d, src[i]);
+    }
+    gf.mulAccum(0x1d, src, dst, 257);
+    for (int i = 0; i < 257; ++i)
+        EXPECT_EQ(dst[i], ref[i]);
+}
+
+TEST(Gf256, MulBlockByZeroClears)
+{
+    const auto &gf = Gf256::instance();
+    std::uint8_t src[16], dst[16];
+    for (int i = 0; i < 16; ++i) {
+        src[i] = static_cast<std::uint8_t>(i + 1);
+        dst[i] = 0xff;
+    }
+    gf.mulBlock(0, src, dst, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dst[i], 0);
+}

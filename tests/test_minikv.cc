@@ -1,0 +1,144 @@
+// MiniKv: LSM mechanics (WAL batching, flush, compaction, lookups).
+
+#include <gtest/gtest.h>
+
+#include "app/minikv.h"
+#include "draid_test_util.h"
+
+using namespace draid;
+using namespace draid::testutil;
+using app::MiniKv;
+using app::MiniKvConfig;
+
+namespace {
+
+MiniKvConfig
+tinyConfig()
+{
+    MiniKvConfig c;
+    c.memtableBytes = 64 * 1024; // flush after ~64 puts
+    c.walBatchOps = 4;
+    c.walRegionBytes = 4 << 20;
+    return c;
+}
+
+void
+drain(DraidRig &rig, int &done, int target)
+{
+    while (done < target && rig.sim().pendingEvents() > 0)
+        rig.sim().run();
+}
+
+} // namespace
+
+TEST(MiniKv, PutThenGetHitsMemtable)
+{
+    DraidRig rig(6);
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(),
+              tinyConfig());
+    int done = 0;
+    kv.put(1, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        ++done;
+    });
+    drain(rig, done, 1);
+    kv.get(1, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        ++done;
+    });
+    drain(rig, done, 2);
+    EXPECT_EQ(kv.stats().memtableHits, 1u);
+    EXPECT_GE(kv.stats().walWrites, 1u);
+}
+
+TEST(MiniKv, MissingKeyMisses)
+{
+    DraidRig rig(6);
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(),
+              tinyConfig());
+    int done = 0;
+    kv.get(999, [&](bool ok) {
+        EXPECT_FALSE(ok);
+        ++done;
+    });
+    drain(rig, done, 1);
+    EXPECT_EQ(kv.stats().getMisses, 1u);
+}
+
+TEST(MiniKv, WalBatchesGroupCommits)
+{
+    DraidRig rig(6);
+    auto cfg = tinyConfig();
+    cfg.walBatchOps = 8;
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(), cfg);
+    int done = 0;
+    for (int i = 0; i < 32; ++i)
+        kv.put(i, [&](bool) { ++done; });
+    drain(rig, done, 32);
+    // Group commit: far fewer WAL writes than puts.
+    EXPECT_LE(kv.stats().walWrites, 8u);
+    EXPECT_GE(kv.stats().walWrites, 4u);
+}
+
+TEST(MiniKv, MemtableFlushesToSst)
+{
+    DraidRig rig(6);
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(),
+              tinyConfig());
+    int done = 0;
+    const int n = 200; // 200 KB of values > 64 KB memtable
+    for (int i = 0; i < n; ++i)
+        kv.put(i, [&](bool) { ++done; });
+    drain(rig, done, n);
+    rig.sim().run();
+    EXPECT_GE(kv.stats().flushes, 1u);
+
+    // Flushed keys are found via SST reads.
+    int got = 0;
+    bool found = false;
+    kv.get(0, [&](bool ok) {
+        found = ok;
+        ++got;
+    });
+    drain(rig, got, 1);
+    EXPECT_TRUE(found);
+    EXPECT_GE(kv.stats().sstReads + kv.stats().memtableHits, 1u);
+}
+
+TEST(MiniKv, CompactionTriggersAfterEnoughFlushes)
+{
+    DraidRig rig(6);
+    auto cfg = tinyConfig();
+    cfg.l0CompactTrigger = 2;
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(), cfg);
+    int done = 0;
+    const int n = 600;
+    for (int i = 0; i < n; ++i)
+        kv.put(i % 300, [&](bool) { ++done; });
+    drain(rig, done, n);
+    rig.sim().run();
+    EXPECT_GE(kv.stats().compactions, 1u);
+}
+
+TEST(MiniKv, AllKeysReadableAfterChurn)
+{
+    DraidRig rig(6);
+    MiniKv kv(rig.sim(), rig.cluster->host().cpu(), rig.host(),
+              tinyConfig());
+    int done = 0;
+    const int n = 300;
+    for (int i = 0; i < n; ++i)
+        kv.put(i, [&](bool) { ++done; });
+    drain(rig, done, n);
+    rig.sim().run();
+
+    int found = 0, answered = 0;
+    for (int i = 0; i < n; ++i) {
+        kv.get(i, [&](bool ok) {
+            found += ok;
+            ++answered;
+        });
+    }
+    drain(rig, answered, n);
+    EXPECT_EQ(found, n);
+}

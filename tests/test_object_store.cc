@@ -1,0 +1,133 @@
+// Object store on the dRAID block device.
+
+#include <gtest/gtest.h>
+
+#include "app/object_store.h"
+#include "draid_test_util.h"
+
+using namespace draid;
+using namespace draid::testutil;
+using app::ObjectStore;
+
+namespace {
+
+constexpr std::uint32_t kObj = 128 * 1024;
+
+bool
+putSync(DraidRig &rig, ObjectStore &store, std::uint64_t id,
+        const ec::Buffer &data)
+{
+    bool ok = false, done = false;
+    store.put(id, data.clone(), [&](bool s) {
+        ok = s;
+        done = true;
+        rig.sim().stop();
+    });
+    while (!done && rig.sim().pendingEvents() > 0)
+        rig.sim().run();
+    return ok;
+}
+
+ec::Buffer
+getSync(DraidRig &rig, ObjectStore &store, std::uint64_t id, bool *ok_out)
+{
+    ec::Buffer out;
+    bool done = false;
+    store.get(id, [&](bool s, ec::Buffer data) {
+        *ok_out = s;
+        out = std::move(data);
+        done = true;
+        rig.sim().stop();
+    });
+    while (!done && rig.sim().pendingEvents() > 0)
+        rig.sim().run();
+    return out;
+}
+
+} // namespace
+
+TEST(ObjectStore, PutGetRoundTrip)
+{
+    DraidRig rig(6);
+    ObjectStore store(rig.host(), kObj);
+    ec::Buffer obj(kObj);
+    obj.fillPattern(1);
+    ASSERT_TRUE(putSync(rig, store, 42, obj));
+    bool ok = false;
+    ec::Buffer got = getSync(rig, store, 42, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(got.contentEquals(obj));
+}
+
+TEST(ObjectStore, GetMissingFails)
+{
+    DraidRig rig(6);
+    ObjectStore store(rig.host(), kObj);
+    bool ok = true, done = false;
+    store.get(7, [&](bool s, ec::Buffer) {
+        ok = s;
+        done = true;
+    });
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ObjectStore, UpdateReplacesContent)
+{
+    DraidRig rig(6);
+    ObjectStore store(rig.host(), kObj);
+    ec::Buffer a(kObj), b(kObj);
+    a.fillPattern(2);
+    b.fillPattern(3);
+    ASSERT_TRUE(putSync(rig, store, 1, a));
+    ASSERT_TRUE(putSync(rig, store, 1, b));
+    EXPECT_EQ(store.objectCount(), 1u);
+    bool ok = false;
+    EXPECT_TRUE(getSync(rig, store, 1, &ok).contentEquals(b));
+}
+
+TEST(ObjectStore, ManyObjectsDistinct)
+{
+    DraidRig rig(6);
+    ObjectStore store(rig.host(), 4096);
+    for (std::uint64_t id = 0; id < 50; ++id) {
+        ec::Buffer obj(4096);
+        obj.fillPattern(100 + id);
+        ASSERT_TRUE(putSync(rig, store, id, obj));
+    }
+    EXPECT_EQ(store.objectCount(), 50u);
+    for (std::uint64_t id = 0; id < 50; ++id) {
+        bool ok = false;
+        ec::Buffer expect(4096);
+        expect.fillPattern(100 + id);
+        EXPECT_TRUE(getSync(rig, store, id, &ok).contentEquals(expect))
+            << "id " << id;
+    }
+}
+
+TEST(ObjectStore, SurvivesDegradedState)
+{
+    DraidRig rig(6);
+    ObjectStore store(rig.host(), kObj);
+    for (std::uint64_t id = 0; id < 12; ++id) {
+        ec::Buffer obj(kObj);
+        obj.fillPattern(500 + id);
+        ASSERT_TRUE(putSync(rig, store, id, obj));
+    }
+    rig.host().markFailed(3);
+    for (std::uint64_t id = 0; id < 12; ++id) {
+        bool ok = false;
+        ec::Buffer expect(kObj);
+        expect.fillPattern(500 + id);
+        EXPECT_TRUE(getSync(rig, store, id, &ok).contentEquals(expect));
+        ASSERT_TRUE(ok);
+    }
+}
+
+TEST(ObjectStore, CapacityBounded)
+{
+    DraidRig rig(6);
+    // Tiny virtual store: capacity computed from device size.
+    ObjectStore store(rig.host(), kObj);
+    EXPECT_EQ(store.capacityObjects(), rig.host().sizeBytes() / kObj);
+}

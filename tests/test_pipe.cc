@@ -1,0 +1,133 @@
+// Pipe: bandwidth serialization, latency, utilization accounting.
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.h"
+#include "sim/pipe.h"
+#include "sim/simulator.h"
+
+using namespace draid::sim;
+
+TEST(Pipe, SingleTransferTakesBytesOverRate)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9); // 1 GB/s
+    Tick done = -1;
+    pipe.transfer(1000, [&]() { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, 1000); // 1000 B at 1 B/ns
+}
+
+TEST(Pipe, LatencyAddsToCompletionNotOccupancy)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9, /*latency=*/500);
+    Tick first = -1, second = -1;
+    pipe.transfer(1000, [&]() { first = sim.now(); });
+    pipe.transfer(1000, [&]() { second = sim.now(); });
+    sim.run();
+    EXPECT_EQ(first, 1500);  // 1000 service + 500 latency
+    EXPECT_EQ(second, 2500); // starts at 1000, ends 2000, +500
+}
+
+TEST(Pipe, BackToBackTransfersSerialize)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9);
+    Tick t1 = -1, t2 = -1;
+    pipe.transfer(1000, [&]() { t1 = sim.now(); });
+    pipe.transfer(2000, [&]() { t2 = sim.now(); });
+    sim.run();
+    EXPECT_EQ(t1, 1000);
+    EXPECT_EQ(t2, 3000);
+}
+
+TEST(Pipe, PerOpOverheadCharged)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9, 0, /*per_op=*/100);
+    Tick t = -1;
+    pipe.transfer(1000, [&]() { t = sim.now(); });
+    sim.run();
+    EXPECT_EQ(t, 1100);
+}
+
+TEST(Pipe, ThroughputMatchesRateUnderLoad)
+{
+    Simulator sim;
+    Pipe pipe(sim, 2e9); // 2 B/ns
+    int completed = 0;
+    for (int i = 0; i < 100; ++i)
+        pipe.transfer(1 << 20, [&]() { ++completed; });
+    sim.run();
+    EXPECT_EQ(completed, 100);
+    const double seconds = toSeconds(sim.now());
+    const double rate = 100.0 * (1 << 20) / seconds;
+    EXPECT_NEAR(rate, 2e9, 2e7); // within 1%
+}
+
+TEST(Pipe, CountsBytesAndOps)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9);
+    pipe.transfer(100, []() {});
+    pipe.transfer(200, []() {});
+    sim.run();
+    EXPECT_EQ(pipe.bytesTransferred(), 300u);
+    EXPECT_EQ(pipe.opsTransferred(), 2u);
+}
+
+TEST(Pipe, UtilizationReflectsBusyFraction)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9);
+    pipe.transfer(1000, []() {});
+    sim.runUntil(2000); // busy for 1000 of 2000 ticks
+    EXPECT_NEAR(pipe.utilization(0), 0.5, 1e-9);
+}
+
+TEST(Pipe, SetRateAffectsFutureTransfers)
+{
+    Simulator sim;
+    Pipe pipe(sim, 1e9);
+    Tick t1 = -1, t2 = -1;
+    pipe.transfer(1000, [&]() { t1 = sim.now(); });
+    sim.run();
+    pipe.setRate(2e9);
+    pipe.transfer(1000, [&]() { t2 = sim.now(); });
+    sim.run();
+    EXPECT_EQ(t1, 1000);
+    EXPECT_EQ(t2, 1500);
+}
+
+TEST(CpuCore, SerializesWork)
+{
+    Simulator sim;
+    CpuCore cpu(sim);
+    Tick t1 = -1, t2 = -1;
+    cpu.execute(100, [&]() { t1 = sim.now(); });
+    cpu.execute(100, [&]() { t2 = sim.now(); });
+    sim.run();
+    EXPECT_EQ(t1, 100);
+    EXPECT_EQ(t2, 200);
+}
+
+TEST(CpuCore, ExecuteBytesChargesAtRate)
+{
+    Simulator sim;
+    CpuCore cpu(sim);
+    Tick t = -1;
+    cpu.executeBytes(1000, 1e9, 50, [&]() { t = sim.now(); });
+    sim.run();
+    EXPECT_EQ(t, 1050);
+}
+
+TEST(CpuCore, TracksBusyTime)
+{
+    Simulator sim;
+    CpuCore cpu(sim);
+    cpu.execute(300, []() {});
+    sim.runUntil(1000);
+    EXPECT_EQ(cpu.busyTime(), 300);
+    EXPECT_NEAR(cpu.utilization(0), 0.3, 1e-9);
+}

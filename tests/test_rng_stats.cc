@@ -1,0 +1,142 @@
+// Rng determinism/distribution sanity and stats helpers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+using namespace draid::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng r(11);
+    std::vector<int> hist(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[r.nextBounded(8)];
+    for (int c : hist)
+        EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(9);
+    int heads = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        heads += r.nextBool(0.3);
+    EXPECT_NEAR(heads, 0.3 * n, 0.03 * n);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(42.0);
+    EXPECT_NEAR(sum / n, 42.0, 2.0);
+}
+
+TEST(LatencyRecorder, BasicStats)
+{
+    LatencyRecorder rec;
+    for (Tick t : {10, 20, 30, 40, 50})
+        rec.record(t);
+    EXPECT_EQ(rec.count(), 5u);
+    EXPECT_EQ(rec.min(), 10);
+    EXPECT_EQ(rec.max(), 50);
+    EXPECT_DOUBLE_EQ(rec.mean(), 30.0);
+    EXPECT_EQ(rec.percentile(50), 30);
+    EXPECT_EQ(rec.percentile(100), 50);
+}
+
+TEST(LatencyRecorder, EmptyIsZero)
+{
+    LatencyRecorder rec;
+    EXPECT_EQ(rec.count(), 0u);
+    EXPECT_EQ(rec.min(), 0);
+    EXPECT_EQ(rec.max(), 0);
+    EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+    EXPECT_EQ(rec.percentile(99), 0);
+}
+
+TEST(LatencyRecorder, PercentileNearestRank)
+{
+    LatencyRecorder rec;
+    for (Tick t = 1; t <= 100; ++t)
+        rec.record(t);
+    EXPECT_EQ(rec.percentile(99), 99);
+    EXPECT_EQ(rec.percentile(1), 1);
+}
+
+TEST(ThroughputMeter, ComputesBandwidthAndIops)
+{
+    ThroughputMeter m;
+    m.start(0);
+    for (int i = 0; i < 1000; ++i)
+        m.complete(128 * 1024);
+    m.finish(kSecond); // 1 simulated second
+    EXPECT_NEAR(m.bandwidthMBps(), 1000.0 * 128 * 1024 / 1e6, 0.1);
+    EXPECT_NEAR(m.kiops(), 1.0, 1e-9);
+}
+
+TEST(ThroughputMeter, ZeroWindowReportsZero)
+{
+    ThroughputMeter m;
+    m.start(100);
+    m.complete(4096);
+    m.finish(100);
+    EXPECT_DOUBLE_EQ(m.bandwidthMBps(), 0.0);
+    EXPECT_DOUBLE_EQ(m.kiops(), 0.0);
+}

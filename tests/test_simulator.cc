@@ -1,0 +1,132 @@
+// Simulator core: event ordering, determinism, run control.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+using namespace draid::sim;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, ExecutesEventAtScheduledTime)
+{
+    Simulator sim;
+    Tick fired_at = -1;
+    sim.schedule(1000, [&]() { fired_at = sim.now(); });
+    sim.run();
+    EXPECT_EQ(fired_at, 1000);
+    EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(300, [&]() { order.push_back(3); });
+    sim.schedule(100, [&]() { order.push_back(1); });
+    sim.schedule(200, [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTickEventsFireFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(50, [&order, i]() { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingWorks)
+{
+    Simulator sim;
+    Tick second = -1;
+    sim.schedule(10, [&]() {
+        sim.schedule(5, [&]() { second = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(second, 15);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(100, [&]() {
+        sim.schedule(0, [&]() { fired = true; });
+    });
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&]() { ++fired; });
+    sim.schedule(200, [&]() { ++fired; });
+    sim.runUntil(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 150);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains)
+{
+    Simulator sim;
+    sim.runUntil(5000);
+    EXPECT_EQ(sim.now(), 5000);
+}
+
+TEST(Simulator, StopHaltsExecution)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&]() {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(20, [&]() { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run(); // resumes
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForAdvancesRelative)
+{
+    Simulator sim;
+    sim.runFor(100);
+    sim.runFor(100);
+    EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 25; ++i)
+        sim.schedule(i, []() {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 25u);
+}
+
+TEST(SimulatorTime, ConversionHelpers)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toMicros(kMicrosecond), 1.0);
+    EXPECT_EQ(fromSeconds(1.5), 3 * kSecond / 2);
+    EXPECT_EQ(fromSeconds(0.0), 0);
+}

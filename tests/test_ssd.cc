@@ -1,0 +1,137 @@
+// SSD model: data fidelity, calibrated timing, channel independence.
+
+#include <gtest/gtest.h>
+
+#include "nvme/ssd.h"
+#include "sim/simulator.h"
+
+using namespace draid;
+using namespace draid::nvme;
+using draid::sim::Simulator;
+using draid::sim::Tick;
+using draid::sim::kMicrosecond;
+
+namespace {
+
+SsdConfig
+testConfig()
+{
+    SsdConfig c;
+    c.capacity = 1ull << 30;
+    c.readBw = 3.2e9;
+    c.writeBw = 2.375e9;
+    c.readLatency = 84 * kMicrosecond;
+    c.writeLatency = 14 * kMicrosecond;
+    c.perCommand = 2 * kMicrosecond;
+    return c;
+}
+
+} // namespace
+
+TEST(Ssd, WriteThenReadReturnsData)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    ec::Buffer data(4096);
+    data.fillPattern(77);
+
+    bool wrote = false;
+    ssd.write(8192, data, [&](blockdev::IoStatus st) {
+        wrote = st == blockdev::IoStatus::kOk;
+    });
+    sim.run();
+    EXPECT_TRUE(wrote);
+
+    ec::Buffer got;
+    ssd.read(8192, 4096, [&](blockdev::IoStatus, ec::Buffer d) {
+        got = std::move(d);
+    });
+    sim.run();
+    EXPECT_TRUE(got.contentEquals(data));
+}
+
+TEST(Ssd, UnwrittenRangesReadAsZero)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    ec::Buffer got;
+    ssd.read(123456, 100, [&](blockdev::IoStatus, ec::Buffer d) {
+        got = std::move(d);
+    });
+    sim.run();
+    ec::Buffer zeros(100);
+    EXPECT_TRUE(got.contentEquals(zeros));
+}
+
+TEST(Ssd, ReadLatencyMatchesConfig)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    Tick t = -1;
+    ssd.read(0, 128 * 1024, [&](blockdev::IoStatus, ec::Buffer) {
+        t = sim.now();
+    });
+    sim.run();
+    // 2us per-cmd + 128K/3.2GB/s (= 40.96us) + 84us latency.
+    const Tick service = 2 * kMicrosecond + 40960;
+    EXPECT_EQ(t, service + 84 * kMicrosecond);
+}
+
+TEST(Ssd, WriteThroughputMatchesChannelRate)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    int completed = 0;
+    const int n = 64;
+    for (int i = 0; i < n; ++i) {
+        ssd.write(static_cast<std::uint64_t>(i) << 20,
+                  ec::Buffer(1 << 20),
+                  [&](blockdev::IoStatus) { ++completed; });
+    }
+    sim.run();
+    EXPECT_EQ(completed, n);
+    const double rate =
+        static_cast<double>(n) * (1 << 20) / draid::sim::toSeconds(sim.now());
+    // Per-command overhead costs a little throughput; allow 2%.
+    EXPECT_NEAR(rate, 2.375e9, 2.375e9 * 0.02);
+}
+
+TEST(Ssd, ReadsAndWritesShareTheMediaChannel)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    Tick t_read = -1, t_write = -1;
+    ssd.read(0, 1 << 20, [&](blockdev::IoStatus, ec::Buffer) {
+        t_read = sim.now();
+    });
+    ssd.write(1 << 20, ec::Buffer(1 << 20), [&](blockdev::IoStatus) {
+        t_write = sim.now();
+    });
+    sim.run();
+    // The read occupies the channel first; the write queues behind it.
+    const Tick read_service = 2 * kMicrosecond +
+                              static_cast<Tick>((1 << 20) / 3.2) + 1;
+    EXPECT_NEAR(static_cast<double>(t_read),
+                static_cast<double>(read_service + 84 * kMicrosecond),
+                3.0);
+    const Tick write_service = 2 * kMicrosecond +
+                               static_cast<Tick>((1 << 20) / 2.375) + 1;
+    EXPECT_NEAR(static_cast<double>(t_write),
+                static_cast<double>(read_service + write_service +
+                                    14 * kMicrosecond),
+                3.0);
+}
+
+TEST(Ssd, CountsOps)
+{
+    Simulator sim;
+    Ssd ssd(sim, testConfig());
+    ssd.write(0, ec::Buffer(512), [](blockdev::IoStatus) {});
+    ssd.read(0, 512, [](blockdev::IoStatus, ec::Buffer) {});
+    ssd.read(0, 512, [](blockdev::IoStatus, ec::Buffer) {});
+    sim.run();
+    EXPECT_EQ(ssd.writesCompleted(), 1u);
+    EXPECT_EQ(ssd.readsCompleted(), 2u);
+    EXPECT_EQ(ssd.bytesWritten(), 512u);
+    EXPECT_EQ(ssd.bytesRead(), 1024u);
+}

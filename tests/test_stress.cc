@@ -1,0 +1,183 @@
+// Deterministic stress: long interleaved sequences of reads, writes,
+// failure transitions, rebuilds and scrubs against a reference model.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/reconstruct.h"
+#include "draid_test_util.h"
+
+using namespace draid;
+using namespace draid::testutil;
+using core::DraidOptions;
+using raid::RaidLevel;
+
+namespace {
+
+struct Model
+{
+    std::vector<std::uint8_t> bytes;
+
+    explicit Model(std::uint64_t n) : bytes(n, 0) {}
+
+    void
+    write(std::uint64_t off, const ec::Buffer &data)
+    {
+        std::memcpy(bytes.data() + off, data.data(), data.size());
+    }
+
+    bool
+    matches(std::uint64_t off, const ec::Buffer &data) const
+    {
+        return std::memcmp(bytes.data() + off, data.data(),
+                           data.size()) == 0;
+    }
+};
+
+} // namespace
+
+class DraidStress : public ::testing::TestWithParam<RaidLevel>
+{
+};
+
+TEST_P(DraidStress, LongMixedSequenceWithFailureLifecycle)
+{
+    DraidOptions o;
+    o.level = GetParam();
+    o.chunkSize = 32 * 1024;
+    DraidRig rig(7, o, 6); // member 0-5, spare 6
+    auto &host = rig.host();
+    const auto &g = host.geometry();
+
+    const std::uint64_t stripes = 12;
+    const std::uint64_t span = stripes * g.stripeDataSize();
+    Model model(span);
+    sim::Rng rng(4242);
+
+    // Phase 1: healthy churn.
+    for (int i = 0; i < 60; ++i) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(512 * (1 + rng.nextBounded(128)));
+        const std::uint64_t off = rng.nextBounded(span - len);
+        if (rng.nextBool(0.6)) {
+            ec::Buffer data(len);
+            data.fillPattern(i);
+            model.write(off, data);
+            ASSERT_TRUE(writeSync(rig.sim(), host, off, data));
+        } else {
+            bool ok = false;
+            ec::Buffer got = readSync(rig.sim(), host, off, len, &ok);
+            ASSERT_TRUE(ok);
+            ASSERT_TRUE(model.matches(off, got)) << "op " << i;
+        }
+    }
+
+    // Phase 2: lose a drive, keep serving.
+    host.markFailed(4);
+    for (int i = 0; i < 40; ++i) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(512 * (1 + rng.nextBounded(64)));
+        const std::uint64_t off = rng.nextBounded(span - len);
+        if (rng.nextBool(0.5)) {
+            ec::Buffer data(len);
+            data.fillPattern(1000 + i);
+            model.write(off, data);
+            ASSERT_TRUE(writeSync(rig.sim(), host, off, data));
+        } else {
+            bool ok = false;
+            ec::Buffer got = readSync(rig.sim(), host, off, len, &ok);
+            ASSERT_TRUE(ok);
+            ASSERT_TRUE(model.matches(off, got)) << "degraded op " << i;
+        }
+    }
+
+    // Phase 3: rebuild onto the spare and swap it in.
+    core::RebuildJob job(
+        rig.sim(),
+        [&](std::uint64_t stripe, std::function<void(bool)> done) {
+            host.reconstructChunk(stripe, 6, std::move(done));
+        },
+        stripes, g.chunkSize());
+    bool rebuilt = false;
+    job.start([&](bool ok) {
+        rebuilt = ok;
+        rig.sim().stop();
+    });
+    rig.sim().run();
+    ASSERT_TRUE(rebuilt);
+    host.replaceDevice(4, 6);
+    ASSERT_FALSE(host.isDegraded());
+
+    // Phase 4: healthy churn on the swapped array + final verification.
+    for (int i = 0; i < 40; ++i) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(512 * (1 + rng.nextBounded(64)));
+        const std::uint64_t off = rng.nextBounded(span - len);
+        ec::Buffer data(len);
+        data.fillPattern(2000 + i);
+        model.write(off, data);
+        ASSERT_TRUE(writeSync(rig.sim(), host, off, data));
+    }
+    bool ok = false;
+    ec::Buffer all = readSync(rig.sim(), host, 0,
+                              static_cast<std::uint32_t>(span), &ok);
+    ASSERT_TRUE(ok);
+    ASSERT_TRUE(model.matches(0, all));
+
+    // Every stripe scrubs clean after the whole lifecycle.
+    for (std::uint64_t s = 0; s < stripes; ++s) {
+        core::DraidHost::ScrubResult r;
+        bool scrub_done = false;
+        host.scrubStripe(s, false, [&](core::DraidHost::ScrubResult res) {
+            r = res;
+            scrub_done = true;
+            rig.sim().stop();
+        });
+        while (!scrub_done && rig.sim().pendingEvents() > 0)
+            rig.sim().run();
+        EXPECT_TRUE(r.ok && r.consistent) << "stripe " << s;
+    }
+}
+
+TEST_P(DraidStress, HighConcurrencyBurst)
+{
+    DraidOptions o;
+    o.level = GetParam();
+    o.chunkSize = 32 * 1024;
+    DraidRig rig(6, o);
+    auto &host = rig.host();
+    const std::uint64_t span = 8 * host.geometry().stripeDataSize();
+
+    // 200 operations in flight at once, all completing correctly.
+    sim::Rng rng(7);
+    int completed = 0, failed = 0;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(4096 * (1 + rng.nextBounded(8)));
+        const std::uint64_t off = rng.nextBounded(span - len);
+        if (i % 3 == 0) {
+            host.read(off, len,
+                      [&](blockdev::IoStatus st, ec::Buffer) {
+                          ++completed;
+                          failed += st != blockdev::IoStatus::kOk;
+                      });
+        } else {
+            ec::Buffer data(len);
+            data.fillPattern(i);
+            host.write(off, std::move(data), [&](blockdev::IoStatus st) {
+                ++completed;
+                failed += st != blockdev::IoStatus::kOk;
+            });
+        }
+    }
+    rig.sim().run();
+    EXPECT_EQ(completed, 200);
+    EXPECT_EQ(failed, 0);
+    for (std::uint64_t s = 0; s < 8; ++s)
+        EXPECT_TRUE(scrubStripe(*rig.cluster, host.geometry(), s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DraidStress,
+                         ::testing::Values(RaidLevel::kRaid5,
+                                           RaidLevel::kRaid6));

@@ -1,0 +1,78 @@
+// Stripe lock table: exclusivity, FIFO handoff, independence of stripes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raid/stripe_lock.h"
+
+using draid::raid::StripeLockTable;
+
+TEST(StripeLock, GrantsImmediatelyWhenFree)
+{
+    StripeLockTable t;
+    bool granted = false;
+    t.acquire(7, [&]() { granted = true; });
+    EXPECT_TRUE(granted);
+    EXPECT_TRUE(t.isLocked(7));
+}
+
+TEST(StripeLock, SecondAcquirerWaits)
+{
+    StripeLockTable t;
+    bool second = false;
+    t.acquire(1, []() {});
+    t.acquire(1, [&]() { second = true; });
+    EXPECT_FALSE(second);
+    t.release(1);
+    EXPECT_TRUE(second);
+    EXPECT_TRUE(t.isLocked(1)); // handed off, still held
+    t.release(1);
+    EXPECT_FALSE(t.isLocked(1));
+}
+
+TEST(StripeLock, FifoOrderAmongWaiters)
+{
+    StripeLockTable t;
+    std::vector<int> order;
+    t.acquire(5, [&]() { order.push_back(0); });
+    for (int i = 1; i <= 4; ++i)
+        t.acquire(5, [&, i]() { order.push_back(i); });
+    for (int i = 0; i < 5; ++i)
+        t.release(5);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_FALSE(t.isLocked(5));
+}
+
+TEST(StripeLock, DifferentStripesIndependent)
+{
+    StripeLockTable t;
+    bool a = false, b = false;
+    t.acquire(10, [&]() { a = true; });
+    t.acquire(11, [&]() { b = true; });
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(t.locksHeld(), 2u);
+}
+
+TEST(StripeLock, ContentionCounter)
+{
+    StripeLockTable t;
+    t.acquire(3, []() {});
+    EXPECT_EQ(t.contendedAcquires(), 0u);
+    t.acquire(3, []() {});
+    t.acquire(3, []() {});
+    EXPECT_EQ(t.contendedAcquires(), 2u);
+}
+
+TEST(StripeLock, ReleaseCleansUpState)
+{
+    StripeLockTable t;
+    t.acquire(42, []() {});
+    t.release(42);
+    EXPECT_EQ(t.locksHeld(), 0u);
+    // Can be re-acquired after full release.
+    bool again = false;
+    t.acquire(42, [&]() { again = true; });
+    EXPECT_TRUE(again);
+}

@@ -1,0 +1,178 @@
+// Workload generators: FIO driver mechanics, zipfian/latest distributions,
+// YCSB mixes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "draid_test_util.h"
+#include "workload/fio.h"
+#include "workload/ycsb.h"
+#include "workload/zipfian.h"
+
+using namespace draid;
+using namespace draid::testutil;
+using namespace draid::workload;
+
+TEST(Fio, CompletesRequestedOps)
+{
+    DraidRig rig(6);
+    FioConfig cfg;
+    cfg.ioSize = 64 * 1024;
+    cfg.readRatio = 0.0;
+    cfg.numOps = 100;
+    cfg.ioDepth = 8;
+    cfg.workingSetBytes = 16ull << 20;
+    FioJob job(rig.sim(), rig.host(), cfg);
+    auto r = job.run();
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_GT(r.bandwidthMBps, 0.0);
+    EXPECT_GT(r.avgLatencyUs, 0.0);
+    EXPECT_GE(r.p99LatencyUs, r.p50LatencyUs);
+}
+
+TEST(Fio, ReadOnlyWorkloadOnlyReads)
+{
+    DraidRig rig(6);
+    FioConfig cfg;
+    cfg.readRatio = 1.0;
+    cfg.numOps = 50;
+    cfg.ioSize = 4096;
+    cfg.workingSetBytes = 8ull << 20;
+    FioJob job(rig.sim(), rig.host(), cfg);
+    auto r = job.run();
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(rig.host().counters().rmwWrites +
+                  rig.host().counters().rcwWrites +
+                  rig.host().counters().fullStripeWrites,
+              0u);
+}
+
+TEST(Fio, HigherDepthRaisesThroughput)
+{
+    auto bw_at_depth = [](int depth) {
+        DraidRig rig(6);
+        FioConfig cfg;
+        cfg.ioSize = 128 * 1024;
+        cfg.readRatio = 1.0;
+        cfg.numOps = 300;
+        cfg.ioDepth = depth;
+        cfg.workingSetBytes = 32ull << 20;
+        FioJob job(rig.sim(), rig.host(), cfg);
+        return job.run().bandwidthMBps;
+    };
+    EXPECT_GT(bw_at_depth(16), 1.5 * bw_at_depth(1));
+}
+
+TEST(Fio, SequentialModeCoversLinearly)
+{
+    DraidRig rig(6);
+    FioConfig cfg;
+    cfg.sequential = true;
+    cfg.numOps = 10;
+    cfg.ioSize = 64 * 1024;
+    cfg.ioDepth = 1;
+    FioJob job(rig.sim(), rig.host(), cfg);
+    auto r = job.run();
+    EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(Zipfian, ValuesInRange)
+{
+    ZipfianGenerator gen(1000);
+    sim::Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(gen.next(rng), 1000u);
+}
+
+TEST(Zipfian, SkewsTowardLowRanks)
+{
+    ZipfianGenerator gen(10000);
+    sim::Rng rng(2);
+    int top10 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        top10 += gen.next(rng) < 10;
+    // With theta=0.99, the ten hottest keys draw a large share.
+    EXPECT_GT(top10, n / 10);
+}
+
+TEST(Zipfian, GrowExtendsRange)
+{
+    ZipfianGenerator gen(100);
+    gen.grow(200);
+    EXPECT_EQ(gen.itemCount(), 200u);
+    sim::Rng rng(3);
+    bool saw_new = false;
+    for (int i = 0; i < 50000; ++i)
+        saw_new |= gen.next(rng) >= 100;
+    EXPECT_TRUE(saw_new);
+}
+
+TEST(Latest, FavorsRecentKeys)
+{
+    LatestGenerator gen(1000);
+    sim::Rng rng(4);
+    int recent = 0;
+    for (int i = 0; i < 10000; ++i)
+        recent += gen.next(rng) >= 990;
+    EXPECT_GT(recent, 1000);
+}
+
+namespace {
+
+std::map<YcsbOp::Type, int>
+histogram(YcsbWorkload w, int n = 20000)
+{
+    YcsbGenerator gen(w, YcsbDistribution::kUniform, 10000, 5);
+    std::map<YcsbOp::Type, int> h;
+    for (int i = 0; i < n; ++i)
+        ++h[gen.next().type];
+    return h;
+}
+
+} // namespace
+
+TEST(Ycsb, WorkloadAMixes50_50)
+{
+    auto h = histogram(YcsbWorkload::kA);
+    EXPECT_NEAR(h[YcsbOp::Type::kRead], 10000, 600);
+    EXPECT_NEAR(h[YcsbOp::Type::kUpdate], 10000, 600);
+}
+
+TEST(Ycsb, WorkloadBMixes95_5)
+{
+    auto h = histogram(YcsbWorkload::kB);
+    EXPECT_NEAR(h[YcsbOp::Type::kRead], 19000, 400);
+    EXPECT_NEAR(h[YcsbOp::Type::kUpdate], 1000, 400);
+}
+
+TEST(Ycsb, WorkloadCIsReadOnly)
+{
+    auto h = histogram(YcsbWorkload::kC);
+    EXPECT_EQ(h[YcsbOp::Type::kRead], 20000);
+}
+
+TEST(Ycsb, WorkloadDInsertsGrowKeyspace)
+{
+    YcsbGenerator gen(YcsbWorkload::kD, YcsbDistribution::kLatest, 1000, 6);
+    int inserts = 0;
+    for (int i = 0; i < 10000; ++i)
+        inserts += gen.next().type == YcsbOp::Type::kInsert;
+    EXPECT_NEAR(inserts, 500, 150);
+    EXPECT_EQ(gen.recordCount(), 1000u + inserts);
+}
+
+TEST(Ycsb, WorkloadFMixesReadAndRmw)
+{
+    auto h = histogram(YcsbWorkload::kF);
+    EXPECT_NEAR(h[YcsbOp::Type::kRead], 10000, 600);
+    EXPECT_NEAR(h[YcsbOp::Type::kReadModifyWrite], 10000, 600);
+}
+
+TEST(Ycsb, KeysWithinRecordCount)
+{
+    YcsbGenerator gen(YcsbWorkload::kA, YcsbDistribution::kZipfian, 500, 7);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(gen.next().key, gen.recordCount());
+}

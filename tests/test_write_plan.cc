@@ -1,0 +1,139 @@
+// Write planner: mode decisions (the §9.3 regime boundaries) and plan
+// structure.
+
+#include <gtest/gtest.h>
+
+#include "raid/write_plan.h"
+
+using namespace draid::raid;
+
+namespace {
+
+constexpr std::uint32_t kKb = 1024;
+
+} // namespace
+
+TEST(WritePlan, PaperRegimeBoundariesRaid5)
+{
+    // §9.3: 8 drives, 512 KB chunks -> RMW below 1536 KB, reconstruct
+    // write between 1536 KB and 3584 KB, full stripe at 3584 KB.
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8);
+    WritePlanner planner(g);
+
+    auto mode_of = [&](std::uint64_t io_kb) {
+        auto plans = planner.plan(0, io_kb * kKb);
+        EXPECT_EQ(plans.size(), 1u);
+        return plans[0].mode;
+    };
+
+    EXPECT_EQ(mode_of(128), WriteMode::kReadModifyWrite);
+    EXPECT_EQ(mode_of(512), WriteMode::kReadModifyWrite);
+    EXPECT_EQ(mode_of(1024), WriteMode::kReadModifyWrite);
+    EXPECT_EQ(mode_of(1536), WriteMode::kReconstructWrite);
+    EXPECT_EQ(mode_of(2048), WriteMode::kReconstructWrite);
+    EXPECT_EQ(mode_of(3072), WriteMode::kReconstructWrite);
+    EXPECT_EQ(mode_of(3584), WriteMode::kFullStripe);
+}
+
+TEST(WritePlan, Raid6SmallWriteIsRmw)
+{
+    // §A.2: RAID-6 with 8 drives -> 3072 KB stripe; small writes RMW.
+    Geometry g(RaidLevel::kRaid6, 512 * kKb, 8);
+    WritePlanner planner(g);
+    auto plans = planner.plan(0, 128 * kKb);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].mode, WriteMode::kReadModifyWrite);
+    auto full = planner.plan(0, 3072 * kKb);
+    ASSERT_EQ(full.size(), 1u);
+    EXPECT_EQ(full[0].mode, WriteMode::kFullStripe);
+}
+
+TEST(WritePlan, RmwParityWindowIsUnionOfSegments)
+{
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8);
+    WritePlanner planner(g);
+    // Write spanning the end of chunk 0 and start of chunk 1.
+    auto plans = planner.plan(400 * kKb, 256 * kKb);
+    ASSERT_EQ(plans.size(), 1u);
+    const auto &p = plans[0];
+    EXPECT_EQ(p.mode, WriteMode::kReadModifyWrite);
+    ASSERT_EQ(p.writes.size(), 2u);
+    EXPECT_EQ(p.writes[0].dataIdx, 0u);
+    EXPECT_EQ(p.writes[0].offset, 400u * kKb);
+    EXPECT_EQ(p.writes[0].length, 112u * kKb);
+    EXPECT_EQ(p.writes[1].dataIdx, 1u);
+    EXPECT_EQ(p.writes[1].offset, 0u);
+    EXPECT_EQ(p.writes[1].length, 144u * kKb);
+    // Union covers [0, 512 KB).
+    EXPECT_EQ(p.parityOffset, 0u);
+    EXPECT_EQ(p.parityLength, 512u * kKb);
+    EXPECT_EQ(p.waitNum, 2u);
+}
+
+TEST(WritePlan, RcwListsUntouchedChunks)
+{
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8);
+    WritePlanner planner(g);
+    auto plans = planner.plan(0, 2048 * kKb); // chunks 0-3 written
+    ASSERT_EQ(plans.size(), 1u);
+    const auto &p = plans[0];
+    EXPECT_EQ(p.mode, WriteMode::kReconstructWrite);
+    EXPECT_EQ(p.writes.size(), 4u);
+    ASSERT_EQ(p.rcwReads.size(), 3u);
+    EXPECT_EQ(p.rcwReads[0], 4u);
+    EXPECT_EQ(p.rcwReads[1], 5u);
+    EXPECT_EQ(p.rcwReads[2], 6u);
+    EXPECT_EQ(p.waitNum, 7u);
+    EXPECT_EQ(p.parityOffset, 0u);
+    EXPECT_EQ(p.parityLength, 512u * kKb);
+}
+
+TEST(WritePlan, FullStripeRequiresExactCoverage)
+{
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8);
+    WritePlanner planner(g);
+    auto plans = planner.plan(0, 3584 * kKb);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].mode, WriteMode::kFullStripe);
+    EXPECT_EQ(plans[0].writes.size(), 7u);
+    EXPECT_EQ(plans[0].waitNum, 0u);
+
+    // One byte short: not full stripe.
+    auto partial = planner.plan(0, 3584 * kKb - 1);
+    ASSERT_EQ(partial.size(), 1u);
+    EXPECT_NE(partial[0].mode, WriteMode::kFullStripe);
+}
+
+TEST(WritePlan, MultiStripeWriteSplits)
+{
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8); // stripe = 3584 KB
+    WritePlanner planner(g);
+    auto plans = planner.plan(3584ull * kKb - 128 * kKb, 256 * kKb);
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_EQ(plans[0].stripe, 0u);
+    EXPECT_EQ(plans[1].stripe, 1u);
+    EXPECT_EQ(plans[0].userBytes(), 128u * kKb);
+    EXPECT_EQ(plans[1].userBytes(), 128u * kKb);
+}
+
+TEST(WritePlan, AlignedFullStripesAcrossManyStripes)
+{
+    Geometry g(RaidLevel::kRaid5, 64 * kKb, 5); // stripe = 256 KB
+    WritePlanner planner(g);
+    auto plans = planner.plan(0, 1024 * kKb); // 4 full stripes
+    ASSERT_EQ(plans.size(), 4u);
+    for (const auto &p : plans)
+        EXPECT_EQ(p.mode, WriteMode::kFullStripe);
+}
+
+TEST(WritePlan, UserBytesSumsSegments)
+{
+    Geometry g(RaidLevel::kRaid5, 512 * kKb, 8);
+    WritePlanner planner(g);
+    for (std::uint64_t len : {4ull * kKb, 128ull * kKb, 1000ull * kKb}) {
+        std::uint64_t total = 0;
+        for (const auto &p : planner.plan(12345, len))
+            total += p.userBytes();
+        EXPECT_EQ(total, len);
+    }
+}

@@ -1,0 +1,92 @@
+// XOR kernels: correctness across sizes and alignments.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ec/buffer.h"
+#include "ec/xor_kernel.h"
+#include "sim/rng.h"
+
+using namespace draid::ec;
+
+class XorSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(XorSizes, XorIntoMatchesReference)
+{
+    const std::size_t n = GetParam();
+    draid::sim::Rng rng(n + 1);
+    std::vector<std::uint8_t> a(n), b(n), ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.next());
+        b[i] = static_cast<std::uint8_t>(rng.next());
+        ref[i] = a[i] ^ b[i];
+    }
+    xorInto(a.data(), b.data(), n);
+    EXPECT_EQ(a, ref);
+}
+
+TEST_P(XorSizes, XorBlocksMatchesReference)
+{
+    const std::size_t n = GetParam();
+    draid::sim::Rng rng(n + 2);
+    std::vector<std::uint8_t> a(n), b(n), out(n, 0xcc), ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.next());
+        b[i] = static_cast<std::uint8_t>(rng.next());
+        ref[i] = a[i] ^ b[i];
+    }
+    xorBlocks(out.data(), a.data(), b.data(), n);
+    EXPECT_EQ(out, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XorSizes,
+                         ::testing::Values(0, 1, 7, 31, 32, 33, 63, 64, 100,
+                                           4096, 65537));
+
+TEST(Xor, SelfInverse)
+{
+    Buffer a(1024), b(1024);
+    a.fillPattern(1);
+    b.fillPattern(2);
+    Buffer x = xorOf(a, b);
+    Buffer back = xorOf(x, b);
+    EXPECT_TRUE(back.contentEquals(a));
+}
+
+TEST(Xor, Commutative)
+{
+    Buffer a(512), b(512);
+    a.fillPattern(3);
+    b.fillPattern(4);
+    EXPECT_TRUE(xorOf(a, b).contentEquals(xorOf(b, a)));
+}
+
+TEST(Xor, Associative)
+{
+    Buffer a(512), b(512), c(512);
+    a.fillPattern(5);
+    b.fillPattern(6);
+    c.fillPattern(7);
+    EXPECT_TRUE(
+        xorOf(xorOf(a, b), c).contentEquals(xorOf(a, xorOf(b, c))));
+}
+
+TEST(Xor, ZeroIsIdentity)
+{
+    Buffer a(128), z(128);
+    a.fillPattern(8);
+    EXPECT_TRUE(xorOf(a, z).contentEquals(a));
+}
+
+TEST(Xor, BufferInPlace)
+{
+    Buffer a(64), b(64);
+    a.fillPattern(9);
+    b.fillPattern(10);
+    Buffer expect = xorOf(a, b);
+    xorInto(a, b);
+    EXPECT_TRUE(a.contentEquals(expect));
+}
