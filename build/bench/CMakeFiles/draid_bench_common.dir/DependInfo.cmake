@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figures.cc" "bench/CMakeFiles/draid_bench_common.dir/figures.cc.o" "gcc" "bench/CMakeFiles/draid_bench_common.dir/figures.cc.o.d"
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/draid_bench_common.dir/harness.cc.o" "gcc" "bench/CMakeFiles/draid_bench_common.dir/harness.cc.o.d"
+  "/root/repo/bench/ycsb_driver.cc" "bench/CMakeFiles/draid_bench_common.dir/ycsb_driver.cc.o" "gcc" "bench/CMakeFiles/draid_bench_common.dir/ycsb_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/draid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draid_bench_common.dir/figures.cc.o"
+  "CMakeFiles/draid_bench_common.dir/figures.cc.o.d"
+  "CMakeFiles/draid_bench_common.dir/harness.cc.o"
+  "CMakeFiles/draid_bench_common.dir/harness.cc.o.d"
+  "CMakeFiles/draid_bench_common.dir/ycsb_driver.cc.o"
+  "CMakeFiles/draid_bench_common.dir/ycsb_driver.cc.o.d"
+  "libdraid_bench_common.a"
+  "libdraid_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draid_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

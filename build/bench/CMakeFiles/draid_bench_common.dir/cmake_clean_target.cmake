@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdraid_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_normal_read.dir/fig09_normal_read.cc.o"
+  "CMakeFiles/fig09_normal_read.dir/fig09_normal_read.cc.o.d"
+  "fig09_normal_read"
+  "fig09_normal_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_normal_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

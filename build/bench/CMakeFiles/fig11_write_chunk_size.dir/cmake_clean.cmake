@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_write_chunk_size.dir/fig11_write_chunk_size.cc.o"
+  "CMakeFiles/fig11_write_chunk_size.dir/fig11_write_chunk_size.cc.o.d"
+  "fig11_write_chunk_size"
+  "fig11_write_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_write_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_write_stripe_width.dir/fig12_write_stripe_width.cc.o"
+  "CMakeFiles/fig12_write_stripe_width.dir/fig12_write_stripe_width.cc.o.d"
+  "fig12_write_stripe_width"
+  "fig12_write_stripe_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_write_stripe_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_write_read_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_degraded_read_io_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_degraded_read_stripe_width.dir/fig16_degraded_read_stripe_width.cc.o"
+  "CMakeFiles/fig16_degraded_read_stripe_width.dir/fig16_degraded_read_stripe_width.cc.o.d"
+  "fig16_degraded_read_stripe_width"
+  "fig16_degraded_read_stripe_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_degraded_read_stripe_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_degraded_read_stripe_width.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_reconstruction.dir/fig17_reconstruction.cc.o"
+  "CMakeFiles/fig17_reconstruction.dir/fig17_reconstruction.cc.o.d"
+  "fig17_reconstruction"
+  "fig17_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

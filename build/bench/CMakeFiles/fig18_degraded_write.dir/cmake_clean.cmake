@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_degraded_write.dir/fig18_degraded_write.cc.o"
+  "CMakeFiles/fig18_degraded_write.dir/fig18_degraded_write.cc.o.d"
+  "fig18_degraded_write"
+  "fig18_degraded_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_degraded_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_minikv_ycsb.dir/fig19_minikv_ycsb.cc.o"
+  "CMakeFiles/fig19_minikv_ycsb.dir/fig19_minikv_ycsb.cc.o.d"
+  "fig19_minikv_ycsb"
+  "fig19_minikv_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_minikv_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_objstore_normal.dir/fig20_objstore_normal.cc.o"
+  "CMakeFiles/fig20_objstore_normal.dir/fig20_objstore_normal.cc.o.d"
+  "fig20_objstore_normal"
+  "fig20_objstore_normal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_objstore_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_objstore_degraded.dir/fig21_objstore_degraded.cc.o"
+  "CMakeFiles/fig21_objstore_degraded.dir/fig21_objstore_degraded.cc.o.d"
+  "fig21_objstore_degraded"
+  "fig21_objstore_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_objstore_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

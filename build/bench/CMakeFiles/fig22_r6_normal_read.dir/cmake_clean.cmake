@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_r6_normal_read.dir/fig22_r6_normal_read.cc.o"
+  "CMakeFiles/fig22_r6_normal_read.dir/fig22_r6_normal_read.cc.o.d"
+  "fig22_r6_normal_read"
+  "fig22_r6_normal_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_r6_normal_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

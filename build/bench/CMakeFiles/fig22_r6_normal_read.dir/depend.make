@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_r6_normal_read.
+# This may be replaced when dependencies are built.

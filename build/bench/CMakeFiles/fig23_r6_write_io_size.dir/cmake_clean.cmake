@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_r6_write_io_size.dir/fig23_r6_write_io_size.cc.o"
+  "CMakeFiles/fig23_r6_write_io_size.dir/fig23_r6_write_io_size.cc.o.d"
+  "fig23_r6_write_io_size"
+  "fig23_r6_write_io_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_r6_write_io_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

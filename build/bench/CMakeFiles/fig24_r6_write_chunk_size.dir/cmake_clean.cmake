@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_r6_write_chunk_size.dir/fig24_r6_write_chunk_size.cc.o"
+  "CMakeFiles/fig24_r6_write_chunk_size.dir/fig24_r6_write_chunk_size.cc.o.d"
+  "fig24_r6_write_chunk_size"
+  "fig24_r6_write_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_r6_write_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

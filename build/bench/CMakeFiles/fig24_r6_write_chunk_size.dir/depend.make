@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_r6_write_chunk_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_r6_write_stripe_width.dir/fig25_r6_write_stripe_width.cc.o"
+  "CMakeFiles/fig25_r6_write_stripe_width.dir/fig25_r6_write_stripe_width.cc.o.d"
+  "fig25_r6_write_stripe_width"
+  "fig25_r6_write_stripe_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_r6_write_stripe_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig25_r6_write_stripe_width.
+# This may be replaced when dependencies are built.

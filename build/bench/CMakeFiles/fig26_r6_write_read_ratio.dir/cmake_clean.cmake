@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_r6_write_read_ratio.dir/fig26_r6_write_read_ratio.cc.o"
+  "CMakeFiles/fig26_r6_write_read_ratio.dir/fig26_r6_write_read_ratio.cc.o.d"
+  "fig26_r6_write_read_ratio"
+  "fig26_r6_write_read_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_r6_write_read_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig26_r6_write_read_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_r6_latency_throughput.dir/fig27_r6_latency_throughput.cc.o"
+  "CMakeFiles/fig27_r6_latency_throughput.dir/fig27_r6_latency_throughput.cc.o.d"
+  "fig27_r6_latency_throughput"
+  "fig27_r6_latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_r6_latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

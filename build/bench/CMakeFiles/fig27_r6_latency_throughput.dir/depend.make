@@ -1,0 +1,2 @@
+# Empty dependencies file for fig27_r6_latency_throughput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_r6_degraded_read.dir/fig28_r6_degraded_read.cc.o"
+  "CMakeFiles/fig28_r6_degraded_read.dir/fig28_r6_degraded_read.cc.o.d"
+  "fig28_r6_degraded_read"
+  "fig28_r6_degraded_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_r6_degraded_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig28_r6_degraded_read.
+# This may be replaced when dependencies are built.

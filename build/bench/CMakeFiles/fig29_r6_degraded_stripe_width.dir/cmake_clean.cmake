@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_r6_degraded_stripe_width.dir/fig29_r6_degraded_stripe_width.cc.o"
+  "CMakeFiles/fig29_r6_degraded_stripe_width.dir/fig29_r6_degraded_stripe_width.cc.o.d"
+  "fig29_r6_degraded_stripe_width"
+  "fig29_r6_degraded_stripe_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_r6_degraded_stripe_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

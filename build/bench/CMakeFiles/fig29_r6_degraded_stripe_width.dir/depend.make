@@ -1,0 +1,2 @@
+# Empty dependencies file for fig29_r6_degraded_stripe_width.
+# This may be replaced when dependencies are built.

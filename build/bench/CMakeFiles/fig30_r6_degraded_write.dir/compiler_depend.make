@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig30_r6_degraded_write.
+# This may be replaced when dependencies are built.

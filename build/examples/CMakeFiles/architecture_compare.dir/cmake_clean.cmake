@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_compare.dir/architecture_compare.cpp.o"
+  "CMakeFiles/architecture_compare.dir/architecture_compare.cpp.o.d"
+  "architecture_compare"
+  "architecture_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_recovery.dir/degraded_recovery.cpp.o"
+  "CMakeFiles/degraded_recovery.dir/degraded_recovery.cpp.o.d"
+  "degraded_recovery"
+  "degraded_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

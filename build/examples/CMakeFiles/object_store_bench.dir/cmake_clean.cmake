@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_store_bench.dir/object_store_bench.cpp.o"
+  "CMakeFiles/object_store_bench.dir/object_store_bench.cpp.o.d"
+  "object_store_bench"
+  "object_store_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_store_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

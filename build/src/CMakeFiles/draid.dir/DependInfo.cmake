@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/minikv.cc" "src/CMakeFiles/draid.dir/app/minikv.cc.o" "gcc" "src/CMakeFiles/draid.dir/app/minikv.cc.o.d"
+  "/root/repo/src/app/object_store.cc" "src/CMakeFiles/draid.dir/app/object_store.cc.o" "gcc" "src/CMakeFiles/draid.dir/app/object_store.cc.o.d"
+  "/root/repo/src/baselines/host_raid.cc" "src/CMakeFiles/draid.dir/baselines/host_raid.cc.o" "gcc" "src/CMakeFiles/draid.dir/baselines/host_raid.cc.o.d"
+  "/root/repo/src/baselines/linux_md.cc" "src/CMakeFiles/draid.dir/baselines/linux_md.cc.o" "gcc" "src/CMakeFiles/draid.dir/baselines/linux_md.cc.o.d"
+  "/root/repo/src/baselines/spdk_raid.cc" "src/CMakeFiles/draid.dir/baselines/spdk_raid.cc.o" "gcc" "src/CMakeFiles/draid.dir/baselines/spdk_raid.cc.o.d"
+  "/root/repo/src/blockdev/memory_bdev.cc" "src/CMakeFiles/draid.dir/blockdev/memory_bdev.cc.o" "gcc" "src/CMakeFiles/draid.dir/blockdev/memory_bdev.cc.o.d"
+  "/root/repo/src/blockdev/nvmf_initiator.cc" "src/CMakeFiles/draid.dir/blockdev/nvmf_initiator.cc.o" "gcc" "src/CMakeFiles/draid.dir/blockdev/nvmf_initiator.cc.o.d"
+  "/root/repo/src/blockdev/nvmf_target.cc" "src/CMakeFiles/draid.dir/blockdev/nvmf_target.cc.o" "gcc" "src/CMakeFiles/draid.dir/blockdev/nvmf_target.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/draid.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/draid.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/draid.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/draid.dir/cluster/node.cc.o.d"
+  "/root/repo/src/cluster/testbed.cc" "src/CMakeFiles/draid.dir/cluster/testbed.cc.o" "gcc" "src/CMakeFiles/draid.dir/cluster/testbed.cc.o.d"
+  "/root/repo/src/core/bw_aware.cc" "src/CMakeFiles/draid.dir/core/bw_aware.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/bw_aware.cc.o.d"
+  "/root/repo/src/core/draid_bdev.cc" "src/CMakeFiles/draid.dir/core/draid_bdev.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/draid_bdev.cc.o.d"
+  "/root/repo/src/core/draid_host.cc" "src/CMakeFiles/draid.dir/core/draid_host.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/draid_host.cc.o.d"
+  "/root/repo/src/core/failure.cc" "src/CMakeFiles/draid.dir/core/failure.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/failure.cc.o.d"
+  "/root/repo/src/core/reconstruct.cc" "src/CMakeFiles/draid.dir/core/reconstruct.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/reconstruct.cc.o.d"
+  "/root/repo/src/core/reduce_engine.cc" "src/CMakeFiles/draid.dir/core/reduce_engine.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/reduce_engine.cc.o.d"
+  "/root/repo/src/core/scrub.cc" "src/CMakeFiles/draid.dir/core/scrub.cc.o" "gcc" "src/CMakeFiles/draid.dir/core/scrub.cc.o.d"
+  "/root/repo/src/ec/buffer.cc" "src/CMakeFiles/draid.dir/ec/buffer.cc.o" "gcc" "src/CMakeFiles/draid.dir/ec/buffer.cc.o.d"
+  "/root/repo/src/ec/gf256.cc" "src/CMakeFiles/draid.dir/ec/gf256.cc.o" "gcc" "src/CMakeFiles/draid.dir/ec/gf256.cc.o.d"
+  "/root/repo/src/ec/raid5_codec.cc" "src/CMakeFiles/draid.dir/ec/raid5_codec.cc.o" "gcc" "src/CMakeFiles/draid.dir/ec/raid5_codec.cc.o.d"
+  "/root/repo/src/ec/raid6_codec.cc" "src/CMakeFiles/draid.dir/ec/raid6_codec.cc.o" "gcc" "src/CMakeFiles/draid.dir/ec/raid6_codec.cc.o.d"
+  "/root/repo/src/ec/xor_kernel.cc" "src/CMakeFiles/draid.dir/ec/xor_kernel.cc.o" "gcc" "src/CMakeFiles/draid.dir/ec/xor_kernel.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/draid.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/draid.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/CMakeFiles/draid.dir/net/nic.cc.o" "gcc" "src/CMakeFiles/draid.dir/net/nic.cc.o.d"
+  "/root/repo/src/net/rdma.cc" "src/CMakeFiles/draid.dir/net/rdma.cc.o" "gcc" "src/CMakeFiles/draid.dir/net/rdma.cc.o.d"
+  "/root/repo/src/nvme/ssd.cc" "src/CMakeFiles/draid.dir/nvme/ssd.cc.o" "gcc" "src/CMakeFiles/draid.dir/nvme/ssd.cc.o.d"
+  "/root/repo/src/proto/capsule.cc" "src/CMakeFiles/draid.dir/proto/capsule.cc.o" "gcc" "src/CMakeFiles/draid.dir/proto/capsule.cc.o.d"
+  "/root/repo/src/raid/geometry.cc" "src/CMakeFiles/draid.dir/raid/geometry.cc.o" "gcc" "src/CMakeFiles/draid.dir/raid/geometry.cc.o.d"
+  "/root/repo/src/raid/stripe_lock.cc" "src/CMakeFiles/draid.dir/raid/stripe_lock.cc.o" "gcc" "src/CMakeFiles/draid.dir/raid/stripe_lock.cc.o.d"
+  "/root/repo/src/raid/write_plan.cc" "src/CMakeFiles/draid.dir/raid/write_plan.cc.o" "gcc" "src/CMakeFiles/draid.dir/raid/write_plan.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/draid.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/draid.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/pipe.cc" "src/CMakeFiles/draid.dir/sim/pipe.cc.o" "gcc" "src/CMakeFiles/draid.dir/sim/pipe.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/draid.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/draid.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/draid.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/draid.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/draid.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/draid.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workload/fio.cc" "src/CMakeFiles/draid.dir/workload/fio.cc.o" "gcc" "src/CMakeFiles/draid.dir/workload/fio.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/draid.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/draid.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipfian.cc" "src/CMakeFiles/draid.dir/workload/zipfian.cc.o" "gcc" "src/CMakeFiles/draid.dir/workload/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

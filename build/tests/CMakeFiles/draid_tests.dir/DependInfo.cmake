@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/draid_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_buffer.cc" "tests/CMakeFiles/draid_tests.dir/test_buffer.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_buffer.cc.o.d"
+  "/root/repo/tests/test_bw_aware.cc" "tests/CMakeFiles/draid_tests.dir/test_bw_aware.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_bw_aware.cc.o.d"
+  "/root/repo/tests/test_capsule.cc" "tests/CMakeFiles/draid_tests.dir/test_capsule.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_capsule.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/draid_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_draid_degraded.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_degraded.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_degraded.cc.o.d"
+  "/root/repo/tests/test_draid_failures.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_failures.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_failures.cc.o.d"
+  "/root/repo/tests/test_draid_integrity.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_integrity.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_integrity.cc.o.d"
+  "/root/repo/tests/test_draid_protocol_flow.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_protocol_flow.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_protocol_flow.cc.o.d"
+  "/root/repo/tests/test_draid_rebuild.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_rebuild.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_rebuild.cc.o.d"
+  "/root/repo/tests/test_draid_reducer_race.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_reducer_race.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_reducer_race.cc.o.d"
+  "/root/repo/tests/test_draid_scrub.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_scrub.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_scrub.cc.o.d"
+  "/root/repo/tests/test_draid_swap.cc" "tests/CMakeFiles/draid_tests.dir/test_draid_swap.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_draid_swap.cc.o.d"
+  "/root/repo/tests/test_fabric.cc" "tests/CMakeFiles/draid_tests.dir/test_fabric.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_fabric.cc.o.d"
+  "/root/repo/tests/test_failure.cc" "tests/CMakeFiles/draid_tests.dir/test_failure.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_failure.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/draid_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_gf256.cc" "tests/CMakeFiles/draid_tests.dir/test_gf256.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_gf256.cc.o.d"
+  "/root/repo/tests/test_memory_bdev.cc" "tests/CMakeFiles/draid_tests.dir/test_memory_bdev.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_memory_bdev.cc.o.d"
+  "/root/repo/tests/test_minikv.cc" "tests/CMakeFiles/draid_tests.dir/test_minikv.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_minikv.cc.o.d"
+  "/root/repo/tests/test_nvmf.cc" "tests/CMakeFiles/draid_tests.dir/test_nvmf.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_nvmf.cc.o.d"
+  "/root/repo/tests/test_object_store.cc" "tests/CMakeFiles/draid_tests.dir/test_object_store.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_object_store.cc.o.d"
+  "/root/repo/tests/test_pipe.cc" "tests/CMakeFiles/draid_tests.dir/test_pipe.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_pipe.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/draid_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_raid5_codec.cc" "tests/CMakeFiles/draid_tests.dir/test_raid5_codec.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_raid5_codec.cc.o.d"
+  "/root/repo/tests/test_raid6_codec.cc" "tests/CMakeFiles/draid_tests.dir/test_raid6_codec.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_raid6_codec.cc.o.d"
+  "/root/repo/tests/test_reduce_engine.cc" "tests/CMakeFiles/draid_tests.dir/test_reduce_engine.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_reduce_engine.cc.o.d"
+  "/root/repo/tests/test_rng_stats.cc" "tests/CMakeFiles/draid_tests.dir/test_rng_stats.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_rng_stats.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/draid_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_ssd.cc" "tests/CMakeFiles/draid_tests.dir/test_ssd.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_ssd.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/draid_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_stripe_lock.cc" "tests/CMakeFiles/draid_tests.dir/test_stripe_lock.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_stripe_lock.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/draid_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_write_plan.cc" "tests/CMakeFiles/draid_tests.dir/test_write_plan.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_write_plan.cc.o.d"
+  "/root/repo/tests/test_xor.cc" "tests/CMakeFiles/draid_tests.dir/test_xor.cc.o" "gcc" "tests/CMakeFiles/draid_tests.dir/test_xor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/draid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
