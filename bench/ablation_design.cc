@@ -33,8 +33,9 @@ runVariant(const core::DraidOptions &opts, int depth = 32)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     printFigureHeader("Ablation",
                       "dRAID design-choice ablations (RAID-5, 8 targets, "
                       "128KB writes, iodepth 32)",

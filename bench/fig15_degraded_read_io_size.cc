@@ -2,8 +2,9 @@
 #include "figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     draid::bench::figDegradedReadVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 15");
     return 0;
 }

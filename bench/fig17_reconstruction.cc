@@ -2,8 +2,9 @@
 #include "figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     draid::bench::figReconstructionScalability("Figure 17a"); draid::bench::figBwAwareReconstruction("Figure 17b");
     return 0;
 }

@@ -44,8 +44,9 @@ runState(bool degraded)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     runState(/*degraded=*/false);
     runState(/*degraded=*/true);
     printNote("paper: dRAID improves write-heavy A/F by ~1.27-1.28x in "

@@ -8,8 +8,9 @@ using namespace draid::bench;
 using workload::YcsbWorkload;
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     printFigureHeader("Figure 21",
                       "object store YCSB on degraded-state RAID-5 "
                       "(128KB objects, uniform, one failed drive)",

@@ -2,8 +2,9 @@
 #include "figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     draid::bench::figDegradedWriteVsIoSize(draid::raid::RaidLevel::kRaid6, "Figure 30");
     return 0;
 }

@@ -380,6 +380,11 @@ figReconstructionScalability(const std::string &figure)
                     sut.reconstructChunk(stripe, width, std::move(done));
                 },
                 stripes, static_cast<std::uint32_t>(chunk), /*window=*/16);
+            job.bindTrace(&sut.cluster().tracer(),
+                          sut.cluster().hostId());
+            job.registerMetrics(
+                sut.cluster().nodeScope(sut.cluster().hostId())
+                    .scope("rebuild"));
             job.start([&](bool) { sut.sim().stop(); });
             sut.sim().run();
             row.push_back(job.throughputMBps());

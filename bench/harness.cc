@@ -5,6 +5,36 @@
 
 namespace draid::bench {
 
+namespace {
+
+/** Process-wide telemetry flags; set once by initTelemetry(). */
+TelemetryOptions g_telemetry;
+
+/** Busy-fraction sampling period when telemetry is requested. */
+constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
+
+} // namespace
+
+TelemetryOptions
+parseTelemetryOptions(int argc, char **argv)
+{
+    TelemetryOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--metrics-json=", 0) == 0)
+            opts.metricsJsonPath = arg.substr(15);
+        else if (arg.rfind("--trace=", 0) == 0)
+            opts.tracePath = arg.substr(8);
+    }
+    return opts;
+}
+
+void
+initTelemetry(int argc, char **argv)
+{
+    g_telemetry = parseTelemetryOptions(argc, argv);
+}
+
 const char *
 name(SystemKind kind)
 {
@@ -46,6 +76,25 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
                                                           array.width);
         break;
     }
+
+    if (!g_telemetry.tracePath.empty())
+        cluster_->tracer().setEnabled(true);
+    if (g_telemetry.any())
+        cluster_->startUtilizationSampling(kUtilSampleInterval);
+}
+
+SystemUnderTest::~SystemUnderTest()
+{
+    if (!cluster_)
+        return;
+    if (!g_telemetry.metricsJsonPath.empty() &&
+        !cluster_->telemetry().saveMetricsJson(g_telemetry.metricsJsonPath))
+        std::fprintf(stderr, "warning: could not write metrics JSON to %s\n",
+                     g_telemetry.metricsJsonPath.c_str());
+    if (!g_telemetry.tracePath.empty() &&
+        !cluster_->telemetry().saveChromeTrace(g_telemetry.tracePath))
+        std::fprintf(stderr, "warning: could not write trace to %s\n",
+                     g_telemetry.tracePath.c_str());
 }
 
 blockdev::BlockDevice &

@@ -42,11 +42,39 @@ struct ArrayConfig
     std::vector<double> targetNicGoodputs; ///< heterogeneity (Fig. 17b)
 };
 
+/**
+ * Telemetry flags shared by every bench binary:
+ *   --metrics-json=<path>  save a metrics + utilization snapshot
+ *   --trace=<path>         enable per-op tracing, save a Chrome trace
+ * Unrecognized arguments are ignored.
+ */
+struct TelemetryOptions
+{
+    std::string metricsJsonPath;
+    std::string tracePath;
+
+    bool any() const
+    {
+        return !metricsJsonPath.empty() || !tracePath.empty();
+    }
+};
+
+TelemetryOptions parseTelemetryOptions(int argc, char **argv);
+
+/**
+ * Install the telemetry flags for every SystemUnderTest this process
+ * builds. Benches run several systems back to back and each one saves
+ * over the same files at teardown, so the artifacts describe the LAST
+ * system built (for dRAID-vs-baseline figures that is dRAID).
+ */
+void initTelemetry(int argc, char **argv);
+
 /** One fully assembled system on its own cluster. */
 class SystemUnderTest
 {
   public:
     SystemUnderTest(SystemKind kind, const ArrayConfig &array);
+    ~SystemUnderTest();
 
     blockdev::BlockDevice &device();
     cluster::Cluster &cluster() { return *cluster_; }

@@ -83,8 +83,9 @@ degradedReadOverhead(SystemKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    draid::bench::initTelemetry(argc, argv);
     std::printf("# Table 1: remote RAID architecture comparison "
                 "(measured network overhead factors)\n");
     std::printf("# Single-Machine column is analytic (local drive "

@@ -120,8 +120,11 @@ MiniKv::maybeFlushMemtable()
 
     auto remaining = std::make_shared<std::uint64_t>(run_bytes);
     auto offset = std::make_shared<std::uint64_t>(base);
+    // The closure must not capture its own shared_ptr (that cycle never
+    // frees); each in-flight I/O callback holds the strong reference.
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, remaining, offset, base, run_bytes, pump]() {
+    std::weak_ptr<std::function<void()>> weak_pump = pump;
+    *pump = [this, remaining, offset, base, run_bytes, weak_pump]() {
         if (*remaining == 0) {
             level0_.push_back(SstEntry{base, run_bytes});
             flushInFlight_ = false;
@@ -135,7 +138,9 @@ MiniKv::maybeFlushMemtable()
         *offset += chunk;
         *remaining -= chunk;
         dev_.write(off, ec::Buffer(chunk),
-                   [pump](blockdev::IoStatus) { (*pump)(); });
+                   [pump = weak_pump.lock()](blockdev::IoStatus) {
+                       (*pump)();
+                   });
     };
     (*pump)();
 }
@@ -172,8 +177,9 @@ MiniKv::maybeCompact()
     auto write_left = std::make_shared<std::uint64_t>(total);
 
     auto write_pump = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_write = write_pump;
     *write_pump = [this, write_off, write_left, base, total,
-                   write_pump]() {
+                   weak_write]() {
         if (*write_left == 0) {
             level1_.push_back(SstEntry{base, total});
             compactionInFlight_ = false;
@@ -186,11 +192,14 @@ MiniKv::maybeCompact()
         *write_off += chunk;
         *write_left -= chunk;
         dev_.write(off, ec::Buffer(chunk),
-                   [write_pump](blockdev::IoStatus) { (*write_pump)(); });
+                   [pump = weak_write.lock()](blockdev::IoStatus) {
+                       (*pump)();
+                   });
     };
 
     auto read_pump = std::make_shared<std::function<void()>>();
-    *read_pump = [this, inputs, read_idx, read_off, read_pump,
+    std::weak_ptr<std::function<void()>> weak_read = read_pump;
+    *read_pump = [this, inputs, read_idx, read_off, weak_read,
                   write_pump]() {
         if (*read_idx >= inputs->size()) {
             (*write_pump)();
@@ -200,7 +209,7 @@ MiniKv::maybeCompact()
         if (*read_off >= e.bytes) {
             ++*read_idx;
             *read_off = 0;
-            (*read_pump)();
+            (*weak_read.lock())();
             return;
         }
         const std::uint32_t chunk = static_cast<std::uint32_t>(
@@ -209,8 +218,8 @@ MiniKv::maybeCompact()
         const std::uint64_t off = e.offset + *read_off;
         *read_off += chunk;
         dev_.read(off, chunk,
-                  [read_pump](blockdev::IoStatus, ec::Buffer) {
-                      (*read_pump)();
+                  [pump = weak_read.lock()](blockdev::IoStatus, ec::Buffer) {
+                      (*pump)();
                   });
     };
     (*read_pump)();

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 #include "ec/gf256.h"
 #include "ec/raid5_codec.h"
@@ -30,6 +33,47 @@ HostCentricRaid::HostCentricRaid(cluster::Cluster &cluster,
         targets_.push_back(
             std::make_unique<blockdev::NvmfTarget>(cluster, i));
     }
+
+    // Probes over the existing counters plus op-latency histograms, under
+    // host0.raid.* (one system under test per cluster).
+    auto scope = cluster_.nodeScope(cluster_.hostId()).scope("raid");
+    scope.probe("full_stripe_writes",
+                [this] { return counters_.fullStripeWrites; });
+    scope.probe("rmw_writes", [this] { return counters_.rmwWrites; });
+    scope.probe("rcw_writes", [this] { return counters_.rcwWrites; });
+    scope.probe("normal_reads", [this] { return counters_.normalReads; });
+    scope.probe("degraded_reads",
+                [this] { return counters_.degradedReads; });
+    scope.probe("degraded_writes",
+                [this] { return counters_.degradedWrites; });
+    scope.probe("retries", [this] { return counters_.retries; });
+    readLatencyUs_ =
+        &scope.histogram("read_latency_us", telemetry::latencyBucketsUs());
+    writeLatencyUs_ =
+        &scope.histogram("write_latency_us", telemetry::latencyBucketsUs());
+}
+
+void
+HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
+                              sim::Tick start, std::uint64_t bytes,
+                              telemetry::Histogram *lat_us)
+{
+    const sim::Tick end = cluster_.sim().now();
+    if (lat_us)
+        lat_us->observe(static_cast<double>(end - start) /
+                        sim::kMicrosecond);
+    telemetry::Tracer &tracer = cluster_.tracer();
+    if (trace == 0 || !tracer.enabled())
+        return;
+    telemetry::TraceSpan span;
+    span.traceId = trace;
+    span.node = cluster_.hostId();
+    span.lane = "op";
+    span.name = name;
+    span.start = start;
+    span.end = end;
+    span.args.emplace_back("bytes", std::to_string(bytes));
+    tracer.recordSpan(std::move(span));
 }
 
 std::uint64_t
@@ -54,31 +98,35 @@ HostCentricRaid::markFailed(std::uint32_t device)
 }
 
 void
-HostCentricRaid::chargeDataPath(std::uint64_t bytes, sim::EventFn fn)
+HostCentricRaid::chargeDataPath(std::uint64_t bytes, sim::EventFn fn,
+                                std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.dataPathBw, 0,
-                                       std::move(fn));
+    cluster_.host().cpu().executeBytes(bytes, tuning_.dataPathBw, 0, trace,
+                                       "host.datapath", std::move(fn));
 }
 
 void
-HostCentricRaid::chargeReadPath(std::uint64_t bytes, sim::EventFn fn)
+HostCentricRaid::chargeReadPath(std::uint64_t bytes, sim::EventFn fn,
+                                std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.readPathBw, 0,
-                                       std::move(fn));
+    cluster_.host().cpu().executeBytes(bytes, tuning_.readPathBw, 0, trace,
+                                       "host.readpath", std::move(fn));
 }
 
 void
-HostCentricRaid::chargeXor(std::uint64_t bytes, sim::EventFn fn)
+HostCentricRaid::chargeXor(std::uint64_t bytes, sim::EventFn fn,
+                           std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.xorBw, 0,
-                                       std::move(fn));
+    cluster_.host().cpu().executeBytes(bytes, tuning_.xorBw, 0, trace,
+                                       "parity.xor", std::move(fn));
 }
 
 void
-HostCentricRaid::chargeGf(std::uint64_t bytes, sim::EventFn fn)
+HostCentricRaid::chargeGf(std::uint64_t bytes, sim::EventFn fn,
+                          std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.gfBw, 0,
-                                       std::move(fn));
+    cluster_.host().cpu().executeBytes(bytes, tuning_.gfBw, 0, trace,
+                                       "parity.gf", std::move(fn));
 }
 
 // ---------------------------------------------------------------------------
@@ -101,38 +149,51 @@ HostCentricRaid::write(std::uint64_t offset, ec::Buffer data,
                        blockdev::WriteCallback cb)
 {
     assert(offset + data.size() <= sizeBytes());
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick op_start = cluster_.sim().now();
+    const std::uint64_t op_bytes = data.size();
+    auto wrapped = [this, cb, trace, op_start,
+                    op_bytes](blockdev::IoStatus st) {
+        finishOpSpan(trace, "raid.write", op_start, op_bytes,
+                     writeLatencyUs_);
+        cb(st);
+    };
     auto plans = planner_.plan(offset, data.size());
     auto remaining = std::make_shared<int>(static_cast<int>(plans.size()));
     auto all_ok = std::make_shared<bool>(true);
 
     // Kernel-path submission overhead (queue delay + per-op CPU).
     auto submit = [this, plans = std::move(plans), data, remaining, all_ok,
-                   cb]() mutable {
+                   wrapped, trace]() mutable {
         std::size_t pos = 0;
         for (auto &plan : plans) {
             auto sw = std::make_shared<StripeWrite>();
             sw->plan = plan;
             sw->retriesLeft = tuning_.maxRetries;
+            sw->traceId = trace;
             for (const auto &seg : plan.writes) {
                 sw->segData.push_back(data.slice(pos, seg.length));
                 pos += seg.length;
             }
             const std::uint64_t stripe = plan.stripe;
-            sw->done = [this, stripe, remaining, all_ok, cb](bool ok) {
+            sw->done = [this, stripe, remaining, all_ok,
+                        wrapped](bool ok) {
                 locks_.release(stripe);
                 if (!ok)
                     *all_ok = false;
                 if (--*remaining == 0)
-                    cb(*all_ok ? blockdev::IoStatus::kOk
-                               : blockdev::IoStatus::kError);
+                    wrapped(*all_ok ? blockdev::IoStatus::kOk
+                                    : blockdev::IoStatus::kError);
             };
             locks_.acquire(stripe,
                            [this, sw]() { executeStripeWrite(sw); });
         }
     };
 
-    cluster_.sim().schedule(tuning_.queueDelay, [this, submit]() mutable {
+    cluster_.sim().schedule(tuning_.queueDelay,
+                            [this, submit, trace]() mutable {
         cluster_.host().cpu().execute(tuning_.perOpCost + tuning_.lockCost,
+                                      trace, "host.submit",
                                       std::move(submit));
     });
 }
@@ -289,6 +350,7 @@ HostCentricRaid::doDegradedTargeted(std::shared_ptr<StripeWrite> sw,
                       (ctx->slices.size() + 1),
                   [this, sw, stripe, addr, p = std::move(p),
                    q = std::move(q), raid6]() mutable {
+            const std::uint64_t trace = sw->traceId;
             auto tally = std::make_shared<WriteTally>();
             tally->remaining = 1 + (raid6 ? 1 : 0);
             auto finish = [this, sw, tally](std::uint32_t dev,
@@ -311,16 +373,16 @@ HostCentricRaid::doDegradedTargeted(std::shared_ptr<StripeWrite> sw,
             initiator_.writeRemote(p_dev, addr, p,
                                    [finish, p_dev](blockdev::IoStatus st) {
                                        finish(p_dev, st);
-                                   });
+                                   }, trace);
             if (raid6) {
                 const std::uint32_t q_dev = geom_.qDevice(stripe);
                 initiator_.writeRemote(
                     q_dev, addr, q,
                     [finish, q_dev](blockdev::IoStatus st) {
                         finish(q_dev, st);
-                    });
+                    }, trace);
             }
-        });
+        }, sw->traceId);
     };
 
     // Fetch every survivor's slice of the written range.
@@ -332,7 +394,7 @@ HostCentricRaid::doDegradedTargeted(std::shared_ptr<StripeWrite> sw,
     ctx->remaining = static_cast<int>(survivors.size());
     chargeDataPath(static_cast<std::uint64_t>(seg.length) *
                        (survivors.size() + 1 + (raid6 ? 1 : 0)),
-                   [this, ctx, survivors, stripe, addr, seg,
+                   [this, sw, ctx, survivors, stripe, addr, seg,
                     assemble]() mutable {
         for (const auto idx : survivors) {
             const std::uint32_t dev = geom_.dataDevice(stripe, idx);
@@ -349,9 +411,9 @@ HostCentricRaid::doDegradedTargeted(std::shared_ptr<StripeWrite> sw,
                     }
                     if (--ctx->remaining == 0)
                         assemble();
-                });
+                }, sw->traceId);
         }
-    });
+    }, sw->traceId);
 }
 
 void
@@ -416,15 +478,15 @@ HostCentricRaid::doFullStripe(std::shared_ptr<StripeWrite> sw)
                                     retryStripe(sw);
                                 }
                             }
-                        });
+                        }, sw->traceId);
                 }
-            });
+            }, sw->traceId);
         };
         if (raid6)
-            chargeGf(stripe_bytes, issue);
+            chargeGf(stripe_bytes, issue, sw->traceId);
         else
             issue();
-    });
+    }, sw->traceId);
 }
 
 void
@@ -524,24 +586,24 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
                         sw->segData[i],
                         [finish, dev](blockdev::IoStatus st) {
                             finish(dev, st);
-                        });
+                        }, sw->traceId);
                 }
                 if (p_alive) {
                     initiator_.writeRemote(
                         p_dev, paddr, new_p,
                         [finish, p_dev](blockdev::IoStatus st) {
                             finish(p_dev, st);
-                        });
+                        }, sw->traceId);
                 }
                 if (q_alive) {
                     initiator_.writeRemote(
                         q_dev, paddr, new_q,
                         [finish, q_dev](blockdev::IoStatus st) {
                             finish(q_dev, st);
-                        });
+                        }, sw->traceId);
                 }
-            });
-        });
+            }, sw->traceId);
+        }, sw->traceId);
     };
 
     // Read phase: old data under each segment + old parity windows.
@@ -573,7 +635,7 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
                     if (st == blockdev::IoStatus::kOk)
                         ctx->oldSegs[i] = std::move(d);
                     join(st == blockdev::IoStatus::kOk, dev);
-                });
+                }, sw->traceId);
         }
         const std::uint64_t paddr =
             geom_.deviceAddress(stripe, plan.parityOffset);
@@ -584,7 +646,7 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
                     if (st == blockdev::IoStatus::kOk)
                         ctx->oldP = std::move(d);
                     join(st == blockdev::IoStatus::kOk, p_dev);
-                });
+                }, sw->traceId);
         }
         if (q_alive) {
             initiator_.readRemote(
@@ -593,9 +655,9 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
                     if (st == blockdev::IoStatus::kOk)
                         ctx->oldQ = std::move(d);
                     join(st == blockdev::IoStatus::kOk, q_dev);
-                });
+                }, sw->traceId);
         }
-    });
+    }, sw->traceId);
 }
 
 void
@@ -705,29 +767,29 @@ HostCentricRaid::doRcw(std::shared_ptr<StripeWrite> sw,
                             sw->segData[i],
                             [finish, dev](blockdev::IoStatus st) {
                                 finish(dev, st);
-                            });
+                            }, sw->traceId);
                     }
                     if (p_alive) {
                         initiator_.writeRemote(
                             p_dev, addr, p,
                             [finish, p_dev](blockdev::IoStatus st) {
                                 finish(p_dev, st);
-                            });
+                            }, sw->traceId);
                     }
                     if (q_alive) {
                         initiator_.writeRemote(
                             q_dev, addr, q,
                             [finish, q_dev](blockdev::IoStatus st) {
                                 finish(q_dev, st);
-                            });
+                            }, sw->traceId);
                     }
-                });
+                }, sw->traceId);
             };
             if (raid6)
-                chargeGf(stripe_bytes, issue);
+                chargeGf(stripe_bytes, issue, sw->traceId);
             else
                 issue();
-        });
+        }, sw->traceId);
     };
 
     // Read phase: every chunk whose final content is not fully known.
@@ -767,9 +829,9 @@ HostCentricRaid::doRcw(std::shared_ptr<StripeWrite> sw,
                     }
                     if (--ctx->remaining == 0)
                         after_reads();
-                });
+                }, sw->traceId);
         }
-    });
+    }, sw->traceId);
 }
 
 void
@@ -803,9 +865,9 @@ HostCentricRaid::doParityLess(std::shared_ptr<StripeWrite> sw)
                             retryStripe(sw);
                         }
                     }
-                });
+                }, sw->traceId);
         }
-    });
+    }, sw->traceId);
 }
 
 void
@@ -834,6 +896,8 @@ HostCentricRaid::read(std::uint64_t offset, std::uint32_t length,
 {
     assert(offset + length <= sizeBytes());
     ++counters_.normalReads;
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);
 
@@ -848,22 +912,28 @@ HostCentricRaid::read(std::uint64_t offset, std::uint32_t length,
 
     auto remaining = std::make_shared<int>(static_cast<int>(groups.size()));
     auto all_ok = std::make_shared<bool>(true);
-    auto group_done = [remaining, all_ok, out, cb](bool ok) {
+    auto group_done = [this, remaining, all_ok, out, cb, trace, op_start,
+                       length](bool ok) {
         if (!ok)
             *all_ok = false;
-        if (--*remaining == 0)
+        if (--*remaining == 0) {
+            finishOpSpan(trace, "raid.read", op_start, length,
+                         readLatencyUs_);
             cb(*all_ok ? blockdev::IoStatus::kOk
                        : blockdev::IoStatus::kError,
                out);
+        }
     };
 
-    auto submit = [this, groups = std::move(groups), out,
-                   group_done]() mutable {
+    auto submit = [this, groups = std::move(groups), out, group_done,
+                   trace]() mutable {
         for (auto &[stripe, ge] : groups)
-            readStripeGroup(stripe, std::move(ge), out, group_done);
+            readStripeGroup(stripe, std::move(ge), out, group_done, trace);
     };
-    cluster_.sim().schedule(tuning_.queueDelay, [this, submit]() mutable {
-        cluster_.host().cpu().execute(tuning_.perOpCost, std::move(submit));
+    cluster_.sim().schedule(tuning_.queueDelay,
+                            [this, submit, trace]() mutable {
+        cluster_.host().cpu().execute(tuning_.perOpCost, trace,
+                                      "host.submit", std::move(submit));
     });
 }
 
@@ -871,7 +941,8 @@ void
 HostCentricRaid::readStripeGroup(std::uint64_t stripe,
                                  std::vector<GroupExtent> extents,
                                  ec::Buffer out,
-                                 std::function<void(bool)> done)
+                                 std::function<void(bool)> done,
+                                 std::uint64_t trace)
 {
     // The SPDK POC locks the stripe for normal reads (§8); MD does not.
     if (tuning_.lockReads) {
@@ -882,7 +953,7 @@ HostCentricRaid::readStripeGroup(std::uint64_t stripe,
         };
     }
     auto run = [this, stripe, extents = std::move(extents), out,
-                done = std::move(done)]() mutable {
+                done = std::move(done), trace]() mutable {
         const bool has_failed =
             failed_ && std::any_of(extents.begin(), extents.end(),
                                    [this](const GroupExtent &g) {
@@ -893,7 +964,7 @@ HostCentricRaid::readStripeGroup(std::uint64_t stripe,
                                    });
         if (has_failed) {
             degradedStripeRead(stripe, std::move(extents), out,
-                               std::move(done));
+                               std::move(done), trace);
             return;
         }
         auto remaining =
@@ -904,7 +975,7 @@ HostCentricRaid::readStripeGroup(std::uint64_t stripe,
             bytes += g.extent.length;
         chargeReadPath(bytes, [this, stripe,
                                extents = std::move(extents), out,
-                               remaining, all_ok, done]() {
+                               remaining, all_ok, done, trace]() {
             for (const auto &g : extents) {
                 const std::uint32_t dev =
                     geom_.dataDevice(stripe, g.extent.dataIdx);
@@ -921,15 +992,16 @@ HostCentricRaid::readStripeGroup(std::uint64_t stripe,
                         }
                         if (--*remaining == 0)
                             done(*all_ok);
-                    });
+                    }, trace);
             }
-        });
+        }, trace);
     };
 
     if (tuning_.lockReads) {
-        locks_.acquire(stripe, [this, run = std::move(run)]() mutable {
-            cluster_.host().cpu().execute(tuning_.lockCost,
-                                          std::move(run));
+        locks_.acquire(stripe,
+                       [this, run = std::move(run), trace]() mutable {
+            cluster_.host().cpu().execute(tuning_.lockCost, trace,
+                                          "host.lock", std::move(run));
         });
         return;
     }
@@ -940,7 +1012,8 @@ void
 HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
                                     std::vector<GroupExtent> extents,
                                     ec::Buffer out,
-                                    std::function<void(bool)> done)
+                                    std::function<void(bool)> done,
+                                    std::uint64_t trace)
 {
     ++counters_.degradedReads;
     const std::uint32_t fidx = geom_.dataIndexOf(stripe, *failed_);
@@ -966,7 +1039,7 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
     auto extents_shared =
         std::make_shared<std::vector<GroupExtent>>(std::move(extents));
 
-    auto finish = [this, ctx, out, fpos, fl,
+    auto finish = [this, ctx, out, fpos, fl, trace,
                    done = std::move(done)]() mutable {
         if (!ctx->ok) {
             done(false);
@@ -977,7 +1050,7 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
             ec::Buffer rebuilt = ec::Raid5Codec::recover(ctx->recon);
             std::memcpy(out.data() + fpos, rebuilt.data(), rebuilt.size());
             done(true);
-        });
+        }, trace);
     };
 
     // The host fetches the recon window of every surviving data chunk and
@@ -1007,7 +1080,7 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
     total_bytes = static_cast<std::uint64_t>(
         static_cast<double>(total_bytes) * tuning_.degradedPathFactor);
     chargeDataPath(total_bytes, [this, ctx, recon_devs, extents_shared,
-                                 stripe, fo, fl, fidx, out,
+                                 stripe, fo, fl, fidx, out, trace,
                                  finish]() mutable {
         const std::uint64_t recon_addr = geom_.deviceAddress(stripe, fo);
         for (const auto dev : recon_devs) {
@@ -1021,7 +1094,7 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
                         ctx->recon.push_back(std::move(d));
                     if (--ctx->remaining == 0)
                         finish();
-                });
+                }, trace);
         }
         for (const auto &g : *extents_shared) {
             if (g.extent.dataIdx == fidx)
@@ -1041,14 +1114,15 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
                     }
                     if (--ctx->remaining == 0)
                         finish();
-                });
+                }, trace);
         }
-    });
+    }, trace);
 }
 
 void
 HostCentricRaid::readChunk(std::uint64_t stripe, std::uint32_t data_idx,
-                           std::function<void(bool, ec::Buffer)> cb)
+                           std::function<void(bool, ec::Buffer)> cb,
+                           std::uint64_t trace)
 {
     const std::uint32_t dev = geom_.dataDevice(stripe, data_idx);
     const std::uint32_t chunk = geom_.chunkSize();
@@ -1058,14 +1132,14 @@ HostCentricRaid::readChunk(std::uint64_t stripe, std::uint32_t data_idx,
         std::vector<GroupExtent> extents{
             GroupExtent{raid::Extent{stripe, data_idx, 0, chunk}, 0}};
         degradedStripeRead(stripe, std::move(extents), out,
-                           [cb, out](bool ok) { cb(ok, out); });
+                           [cb, out](bool ok) { cb(ok, out); }, trace);
         return;
     }
     initiator_.readRemote(dev, addr, chunk,
                           [cb](blockdev::IoStatus st, ec::Buffer d) {
                               cb(st == blockdev::IoStatus::kOk,
                                  std::move(d));
-                          });
+                          }, trace);
 }
 
 // ---------------------------------------------------------------------------
@@ -1078,6 +1152,14 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
                                   std::function<void(bool)> done)
 {
     assert(failed_);
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick op_start = cluster_.sim().now();
+    done = [this, trace, op_start, inner = std::move(done),
+            chunk_bytes = geom_.chunkSize()](bool ok) {
+        finishOpSpan(trace, "raid.reconstruct", op_start, chunk_bytes,
+                     nullptr);
+        inner(ok);
+    };
     const raid::ChunkRole role = geom_.roleOf(stripe, *failed_);
     const std::uint32_t chunk = geom_.chunkSize();
     const std::uint64_t addr = geom_.deviceAddress(stripe, 0);
@@ -1104,17 +1186,17 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
     ctx->remaining = static_cast<int>(sources.size());
 
     auto assemble = [this, ctx, stripe, spare_target, chunk, addr, q_rebuild,
-                     done = std::move(done)]() mutable {
+                     trace, done = std::move(done)]() mutable {
         if (!ctx->ok) {
             done(false);
             return;
         }
-        auto write_out = [this, spare_target, addr,
+        auto write_out = [this, spare_target, addr, trace,
                           done](ec::Buffer rebuilt) mutable {
             initiator_.writeRemote(spare_target, addr, std::move(rebuilt),
                                    [done](blockdev::IoStatus st) mutable {
                                        done(st == blockdev::IoStatus::kOk);
-                                   });
+                                   }, trace);
         };
         const std::uint64_t bytes =
             static_cast<std::uint64_t>(chunk) * ctx->bufs.size();
@@ -1127,16 +1209,16 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
                                 ctx->bufs[i].data(), q.data(), chunk);
                 }
                 write_out(std::move(q));
-            });
+            }, trace);
             return;
         }
         chargeXor(bytes, [ctx, write_out]() mutable {
             write_out(ec::Raid5Codec::recover(ctx->bufs));
-        });
+        }, trace);
     };
 
     chargeDataPath(static_cast<std::uint64_t>(chunk) * sources.size(),
-                   [this, ctx, sources, stripe, addr, chunk,
+                   [this, ctx, sources, stripe, addr, chunk, trace,
                     assemble]() mutable {
         for (const auto dev : sources) {
             std::uint32_t idx = 0;
@@ -1154,9 +1236,9 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
                     }
                     if (--ctx->remaining == 0)
                         assemble();
-                });
+                }, trace);
         }
-    });
+    }, trace);
 }
 
 } // namespace draid::baselines

@@ -129,6 +129,7 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
         int retriesLeft = 0;
         std::optional<std::uint32_t> suspect; ///< device that timed out
         std::function<void(bool)> done;
+        std::uint64_t traceId = 0; ///< telemetry trace of the user op
     };
 
     void executeStripeWrite(std::shared_ptr<StripeWrite> sw);
@@ -155,22 +156,37 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
 
     void readStripeGroup(std::uint64_t stripe,
                          std::vector<GroupExtent> extents, ec::Buffer out,
-                         std::function<void(bool)> done);
+                         std::function<void(bool)> done,
+                         std::uint64_t trace = 0);
     void degradedStripeRead(std::uint64_t stripe,
                             std::vector<GroupExtent> extents, ec::Buffer out,
-                            std::function<void(bool)> done);
+                            std::function<void(bool)> done,
+                            std::uint64_t trace = 0);
 
     /** Read a whole data chunk, reconstructing on the host if failed. */
     void readChunk(std::uint64_t stripe, std::uint32_t data_idx,
-                   std::function<void(bool, ec::Buffer)> cb);
+                   std::function<void(bool, ec::Buffer)> cb,
+                   std::uint64_t trace = 0);
 
     /** Charge the host data path for moving @p bytes, then run @p fn. */
-    void chargeDataPath(std::uint64_t bytes, sim::EventFn fn);
+    void chargeDataPath(std::uint64_t bytes, sim::EventFn fn,
+                        std::uint64_t trace = 0);
 
     /** Charge the (cheaper) normal-read path. */
-    void chargeReadPath(std::uint64_t bytes, sim::EventFn fn);
-    void chargeXor(std::uint64_t bytes, sim::EventFn fn);
-    void chargeGf(std::uint64_t bytes, sim::EventFn fn);
+    void chargeReadPath(std::uint64_t bytes, sim::EventFn fn,
+                        std::uint64_t trace = 0);
+    void chargeXor(std::uint64_t bytes, sim::EventFn fn,
+                   std::uint64_t trace = 0);
+    void chargeGf(std::uint64_t bytes, sim::EventFn fn,
+                  std::uint64_t trace = 0);
+
+    /**
+     * Observe an op's end-to-end latency and, when traced, record the
+     * host-side "op" lane span covering it.
+     */
+    void finishOpSpan(std::uint64_t trace, const char *name,
+                      sim::Tick start, std::uint64_t bytes,
+                      telemetry::Histogram *lat_us);
 
     cluster::Cluster &cluster_;
     HostRaidTuning tuning_;
@@ -183,6 +199,8 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
     std::optional<std::uint32_t> failed_;
     HostRaidCounters counters_;
     std::vector<std::unique_ptr<blockdev::NvmfTarget>> targets_;
+    telemetry::Histogram *readLatencyUs_ = nullptr;
+    telemetry::Histogram *writeLatencyUs_ = nullptr;
 };
 
 } // namespace draid::baselines

@@ -12,7 +12,8 @@ NvmfInitiator::NvmfInitiator(cluster::Cluster &cluster,
 
 void
 NvmfInitiator::readRemote(std::uint32_t target, std::uint64_t offset,
-                          std::uint32_t length, ReadCallback cb)
+                          std::uint32_t length, ReadCallback cb,
+                          std::uint64_t trace)
 {
     const std::uint64_t id = (ids_.alloc() << 8) | 0xff;
     proto::Capsule c;
@@ -21,10 +22,12 @@ NvmfInitiator::readRemote(std::uint32_t target, std::uint64_t offset,
     c.nsid = target;
     c.offset = offset;
     c.length = length;
+    c.traceId = trace;
 
     arm(id, Pending{true, std::move(cb), {}});
     auto &host = cluster_.host();
-    host.cpu().execute(cluster_.config().hostCmdCost, [this, c, target]() {
+    host.cpu().execute(cluster_.config().hostCmdCost, trace, "host.cmd",
+                       [this, c, target]() {
         cluster_.fabric().send(net::Message{
             cluster_.hostId(), cluster_.targetNodeId(target), c, {}});
     });
@@ -32,7 +35,8 @@ NvmfInitiator::readRemote(std::uint32_t target, std::uint64_t offset,
 
 void
 NvmfInitiator::writeRemote(std::uint32_t target, std::uint64_t offset,
-                           ec::Buffer data, WriteCallback cb)
+                           ec::Buffer data, WriteCallback cb,
+                           std::uint64_t trace)
 {
     const std::uint64_t id = (ids_.alloc() << 8) | 0xff;
     proto::Capsule c;
@@ -41,10 +45,11 @@ NvmfInitiator::writeRemote(std::uint32_t target, std::uint64_t offset,
     c.nsid = target;
     c.offset = offset;
     c.length = static_cast<std::uint32_t>(data.size());
+    c.traceId = trace;
 
     arm(id, Pending{false, {}, std::move(cb)});
     auto &host = cluster_.host();
-    host.cpu().execute(cluster_.config().hostCmdCost,
+    host.cpu().execute(cluster_.config().hostCmdCost, trace, "host.cmd",
                        [this, c, target, data = std::move(data)]() {
         cluster_.fabric().send(net::Message{cluster_.hostId(),
                                             cluster_.targetNodeId(target), c,
@@ -69,7 +74,8 @@ NvmfInitiator::tryComplete(const net::Message &msg)
                             : IoStatus::kError;
     auto payload = msg.payload;
     cluster_.host().cpu().execute(
-        cluster_.config().hostCompletionCost,
+        cluster_.config().hostCompletionCost, msg.capsule.traceId,
+        "host.completion",
         [p = std::move(p), st, payload = std::move(payload)]() {
             if (p.isRead)
                 p.readCb(st, payload);

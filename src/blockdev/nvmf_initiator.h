@@ -40,13 +40,19 @@ class NvmfInitiator
   public:
     NvmfInitiator(cluster::Cluster &cluster, CommandIdAllocator &ids);
 
-    /** Read [offset, offset+length) of remote target @p target. */
+    /**
+     * Read [offset, offset+length) of remote target @p target. @p trace
+     * tags the command capsule (and so every downstream span) with a
+     * telemetry trace id; 0 = untraced.
+     */
     void readRemote(std::uint32_t target, std::uint64_t offset,
-                    std::uint32_t length, ReadCallback cb);
+                    std::uint32_t length, ReadCallback cb,
+                    std::uint64_t trace = 0);
 
     /** Write to remote target @p target. */
     void writeRemote(std::uint32_t target, std::uint64_t offset,
-                     ec::Buffer data, WriteCallback cb);
+                     ec::Buffer data, WriteCallback cb,
+                     std::uint64_t trace = 0);
 
     /**
      * Offer a host-bound message. Returns true if it completed one of this

@@ -33,11 +33,13 @@ NvmfTarget::handleRead(const net::Message &msg)
 {
     const auto cmd = msg.capsule;
     const auto from = msg.from;
-    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd, from]() {
-        node_.ssd().read(cmd.offset, cmd.length,
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd", [this, cmd, from]() {
+        node_.ssd().read(cmd.offset, cmd.length, cmd.traceId,
                          [this, cmd, from](IoStatus st, ec::Buffer data) {
             if (st != IoStatus::kOk) {
-                sendCompletion(from, cmd.commandId, proto::Status::kFailed);
+                sendCompletion(from, cmd.commandId, proto::Status::kFailed,
+                               {}, cmd.traceId);
                 return;
             }
             // Push the data, then the response capsule (RDMA transport
@@ -46,8 +48,8 @@ NvmfTarget::handleRead(const net::Message &msg)
                                         [this, cmd, from,
                                          data = std::move(data)]() {
                 sendCompletion(from, cmd.commandId, proto::Status::kSuccess,
-                               data);
-            });
+                               data, cmd.traceId);
+            }, cmd.traceId);
         });
     });
 }
@@ -58,30 +60,34 @@ NvmfTarget::handleWrite(const net::Message &msg)
     const auto cmd = msg.capsule;
     const auto from = msg.from;
     auto payload = msg.payload;
-    node_.cpu().execute(cluster_.config().serverCmdCost,
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd",
                         [this, cmd, from, payload = std::move(payload)]() {
         // Pull the payload from the initiator.
         cluster_.fabric().rdmaRead(node_.id(), from, cmd.length,
                                    [this, cmd, from,
                                     payload = std::move(payload)]() {
-            node_.ssd().write(cmd.offset, payload, [this, cmd,
-                                                    from](IoStatus st) {
+            node_.ssd().write(cmd.offset, payload, cmd.traceId,
+                              [this, cmd, from](IoStatus st) {
                 sendCompletion(from, cmd.commandId,
                                st == IoStatus::kOk ? proto::Status::kSuccess
-                                                   : proto::Status::kFailed);
+                                                   : proto::Status::kFailed,
+                               {}, cmd.traceId);
             });
-        });
+        }, cmd.traceId);
     });
 }
 
 void
 NvmfTarget::sendCompletion(sim::NodeId to, std::uint64_t command_id,
-                           proto::Status status, ec::Buffer payload)
+                           proto::Status status, ec::Buffer payload,
+                           std::uint64_t trace)
 {
     proto::Capsule c;
     c.opcode = proto::Opcode::kCompletion;
     c.commandId = command_id;
     c.status = status;
+    c.traceId = trace;
     cluster_.fabric().send(net::Message{node_.id(), to, std::move(c),
                                         std::move(payload)});
 }

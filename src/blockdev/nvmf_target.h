@@ -40,9 +40,13 @@ class NvmfTarget : public net::Endpoint
     /** Standard write handling; shared with the dRAID subclass. */
     void handleWrite(const net::Message &msg);
 
-    /** Send a completion capsule for @p cmd back to @p to. */
+    /**
+     * Send a completion capsule for @p cmd back to @p to. @p trace tags
+     * the completion with the originating op's telemetry trace id.
+     */
     void sendCompletion(sim::NodeId to, std::uint64_t command_id,
-                        proto::Status status, ec::Buffer payload = {});
+                        proto::Status status, ec::Buffer payload = {},
+                        std::uint64_t trace = 0);
 
     cluster::Cluster &cluster_;
     std::uint32_t index_;

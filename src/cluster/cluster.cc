@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <string>
+
 namespace draid::cluster {
 
 Cluster::Cluster(const TestbedConfig &config, std::uint32_t num_targets,
@@ -9,6 +11,7 @@ Cluster::Cluster(const TestbedConfig &config, std::uint32_t num_targets,
     host_ = std::make_unique<Node>(sim_, hostId(), config.nicGoodput100g,
                                    config.nicPerMessage, std::nullopt);
     fabric_.attach(hostId(), host_->nic(), nullptr);
+    instrumentNode(*host_);
 
     targets_.reserve(num_targets);
     for (std::uint32_t i = 0; i < num_targets; ++i) {
@@ -18,8 +21,112 @@ Cluster::Cluster(const TestbedConfig &config, std::uint32_t num_targets,
         auto node = std::make_unique<Node>(sim_, targetNodeId(i), goodput,
                                            config.nicPerMessage, config.ssd);
         fabric_.attach(targetNodeId(i), node->nic(), nullptr);
+        instrumentNode(*node);
         targets_.push_back(std::move(node));
     }
+
+    auto fab = telemetry_.root().scope("fabric");
+    fab.probe("messages_delivered", [this] {
+        return static_cast<double>(fabric_.messagesDelivered());
+    });
+    fab.probe("messages_dropped", [this] {
+        return static_cast<double>(fabric_.messagesDropped());
+    });
+}
+
+std::string
+Cluster::nodeName(sim::NodeId node) const
+{
+    return node == hostId() ? "host0" : "node" + std::to_string(node);
+}
+
+void
+Cluster::instrumentNode(Node &node)
+{
+    const sim::NodeId id = node.id();
+    telemetry::Tracer &tracer = telemetry_.tracer();
+    tracer.setNodeName(id, nodeName(id));
+    node.nic().tx().bindTrace(&tracer, id, "nic.tx");
+    node.nic().rx().bindTrace(&tracer, id, "nic.rx");
+    node.cpu().bindTrace(&tracer, id);
+    if (node.hasSsd())
+        node.ssd().bindTrace(&tracer, id);
+
+    // Pull probes over the counters the components already keep; sampling
+    // them at snapshot time costs the hot path nothing.
+    auto scope = nodeScope(id);
+    auto nic = scope.scope("nic");
+    const net::Nic &n = node.nic();
+    nic.probe("tx_bytes", [&n] {
+        return static_cast<double>(n.tx().bytesTransferred());
+    });
+    nic.probe("tx_ops", [&n] {
+        return static_cast<double>(n.tx().opsTransferred());
+    });
+    nic.probe("tx_busy_ticks", [&n] {
+        return static_cast<double>(n.tx().busyTime());
+    });
+    nic.probe("rx_bytes", [&n] {
+        return static_cast<double>(n.rx().bytesTransferred());
+    });
+    nic.probe("rx_ops", [&n] {
+        return static_cast<double>(n.rx().opsTransferred());
+    });
+    nic.probe("rx_busy_ticks", [&n] {
+        return static_cast<double>(n.rx().busyTime());
+    });
+
+    auto cpu = scope.scope("cpu");
+    const sim::CpuCore &core = node.cpu();
+    cpu.probe("busy_ticks",
+              [&core] { return static_cast<double>(core.busyTime()); });
+
+    if (node.hasSsd()) {
+        auto ssd = scope.scope("ssd");
+        const nvme::Ssd &drive = node.ssd();
+        ssd.probe("reads", [&drive] {
+            return static_cast<double>(drive.readsCompleted());
+        });
+        ssd.probe("writes", [&drive] {
+            return static_cast<double>(drive.writesCompleted());
+        });
+        ssd.probe("bytes_read", [&drive] {
+            return static_cast<double>(drive.bytesRead());
+        });
+        ssd.probe("bytes_written", [&drive] {
+            return static_cast<double>(drive.bytesWritten());
+        });
+        ssd.probe("channel_busy_ticks", [&drive] {
+            return static_cast<double>(drive.channel().busyTime());
+        });
+    }
+}
+
+void
+Cluster::startUtilizationSampling(sim::Tick interval)
+{
+    telemetry::UtilizationSampler &sampler = telemetry_.sampler();
+    auto addNode = [&sampler](Node &node) {
+        const sim::NodeId id = node.id();
+        const net::Nic &n = node.nic();
+        sampler.addSource(id, "nic.tx.util",
+                          [&n] { return n.tx().busyTime(); });
+        sampler.addSource(id, "nic.rx.util",
+                          [&n] { return n.rx().busyTime(); });
+        const sim::CpuCore &core = node.cpu();
+        sampler.addSource(id, "cpu.util",
+                          [&core] { return core.busyTime(); });
+        if (node.hasSsd()) {
+            const nvme::Ssd &drive = node.ssd();
+            sampler.addSource(id, "ssd.util", [&drive] {
+                return drive.channel().busyTime();
+            });
+        }
+    };
+    addNode(*host_);
+    for (auto &t : targets_)
+        addNode(*t);
+    sampler.start(sim_, interval, &telemetry_.tracer());
 }
 
 void

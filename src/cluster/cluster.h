@@ -16,6 +16,7 @@
 #include "cluster/testbed.h"
 #include "net/fabric.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace draid::cluster {
 
@@ -54,6 +55,26 @@ class Cluster
         return node - 1;
     }
 
+    /** The testbed's telemetry bundle (metrics + tracer + sampler). */
+    telemetry::Telemetry &telemetry() { return telemetry_; }
+    const telemetry::Telemetry &telemetry() const { return telemetry_; }
+    telemetry::Tracer &tracer() { return telemetry_.tracer(); }
+
+    /** Human name for a fabric node id: "host0" or "node<i>". */
+    std::string nodeName(sim::NodeId node) const;
+
+    /** Metric scope rooted at a node's name ("node3.nic.tx_bytes"...). */
+    telemetry::MetricScope nodeScope(sim::NodeId node)
+    {
+        return telemetry_.root().scope(nodeName(node));
+    }
+
+    /**
+     * Begin periodic busy-fraction sampling of every NIC direction, CPU
+     * core, and SSD channel. Observe-only; safe to leave off (the default).
+     */
+    void startUtilizationSampling(sim::Tick interval);
+
     /** Take a storage server off the network (prolonged failure, §5.4). */
     void failTarget(std::uint32_t i);
 
@@ -63,9 +84,13 @@ class Cluster
     bool isTargetFailed(std::uint32_t i) const;
 
   private:
+    /** Register per-node probes and bind span sinks for @p node. */
+    void instrumentNode(Node &node);
+
     TestbedConfig config_;
     sim::Simulator sim_;
     net::Fabric fabric_;
+    telemetry::Telemetry telemetry_;
     std::unique_ptr<Node> host_;
     std::vector<std::unique_ptr<Node>> targets_;
 };

@@ -15,6 +15,25 @@ DraidBdev::DraidBdev(cluster::Cluster &cluster, std::uint32_t index,
                      const DraidOptions &options)
     : NvmfTarget(cluster, index), opts_(options)
 {
+    // Expose the bdev and reduce-engine tallies as registry probes under
+    // this node's scope; the structs stay the source of truth.
+    auto scope = cluster_.nodeScope(node_.id()).scope("bdev");
+    scope.probe("partial_writes", [this] { return counters_.partialWrites; });
+    scope.probe("parity_cmds", [this] { return counters_.parityCmds; });
+    scope.probe("peers_absorbed", [this] { return counters_.peersAbsorbed; });
+    scope.probe("reconstructions",
+                [this] { return counters_.reconstructions; });
+    scope.probe("reductions_finished",
+                [this] { return counters_.reductionsFinished; });
+    scope.probe("late_parity_cmds",
+                [this] { return counters_.lateParityCmds; });
+    auto reduce = cluster_.nodeScope(node_.id()).scope("reduce");
+    reduce.probe("sessions_created",
+                 [this] { return reduce_.stats().sessionsCreated; });
+    reduce.probe("partials_absorbed",
+                 [this] { return reduce_.stats().partialsAbsorbed; });
+    reduce.probe("bytes_absorbed",
+                 [this] { return reduce_.stats().bytesAbsorbed; });
 }
 
 void
@@ -54,8 +73,8 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
     const auto from = msg.from;
     auto payload = msg.payload;
 
-    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd, from,
-                                                          payload]() {
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd", [this, cmd, from, payload]() {
         assert(!cmd.sgList.empty());
         const std::uint64_t chunk_addr = cmd.sgList[0].addr;
         const std::uint32_t chunk_len = cmd.sgList[0].length;
@@ -93,7 +112,7 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
             ph->newData = payload;
             starts.push_back([this, from, cmd, join]() {
                 cluster_.fabric().rdmaRead(node_.id(), from, cmd.length,
-                                           join);
+                                           join, cmd.traceId);
             });
         }
         switch (cmd.subtype) {
@@ -101,7 +120,7 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
             // Old data under the write range.
             ++ph->outstanding;
             starts.push_back([this, cmd, ph, join]() {
-                node_.ssd().read(cmd.offset, cmd.length,
+                node_.ssd().read(cmd.offset, cmd.length, cmd.traceId,
                                  [ph, join](blockdev::IoStatus,
                                             ec::Buffer data) {
                     ph->oldData = std::move(data);
@@ -117,8 +136,9 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
                 chunk_len - head_len - cmd.length;
             if (head_len > 0) {
                 ++ph->outstanding;
-                starts.push_back([this, chunk_addr, head_len, ph, join]() {
-                    node_.ssd().read(chunk_addr, head_len,
+                starts.push_back([this, cmd, chunk_addr, head_len, ph,
+                                  join]() {
+                    node_.ssd().read(chunk_addr, head_len, cmd.traceId,
                                      [ph, join](blockdev::IoStatus,
                                                 ec::Buffer data) {
                         ph->oldHead = std::move(data);
@@ -129,8 +149,9 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
             if (tail_len > 0) {
                 ++ph->outstanding;
                 const std::uint64_t tail_addr = cmd.offset + cmd.length;
-                starts.push_back([this, tail_addr, tail_len, ph, join]() {
-                    node_.ssd().read(tail_addr, tail_len,
+                starts.push_back([this, cmd, tail_addr, tail_len, ph,
+                                  join]() {
+                    node_.ssd().read(tail_addr, tail_len, cmd.traceId,
                                      [ph, join](blockdev::IoStatus,
                                                 ec::Buffer data) {
                         ph->oldTail = std::move(data);
@@ -145,6 +166,7 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
             ++ph->outstanding;
             starts.push_back([this, cmd, chunk_addr, ph, join]() {
                 node_.ssd().read(chunk_addr + cmd.fwdOffset, cmd.fwdLength,
+                                 cmd.traceId,
                                  [ph, join](blockdev::IoStatus,
                                             ec::Buffer data) {
                     ph->oldData = std::move(data);
@@ -209,9 +231,9 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
         assert(false);
     }
 
-    node_.cpu().executeBytes(xor_bytes, cfg.xorBw, 0, [this, cmd, from,
-                                                       new_data,
-                                                       partial]() mutable {
+    node_.cpu().executeBytes(xor_bytes, cfg.xorBw, 0, cmd.traceId,
+                             "parity.xor", [this, cmd, from, new_data,
+                                            partial]() mutable {
         const std::uint64_t op = opOf(cmd.commandId);
 
         const sim::NodeId relay =
@@ -219,7 +241,8 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
         auto do_forward = [this, cmd, relay, partial]() {
             if (cmd.nextDest != sim::kInvalidNode) {
                 forwardPartial(opOf(cmd.commandId), cmd.nextDest, relay,
-                               cmd.fwdOffset, partial, cmd.dataIdx);
+                               cmd.fwdOffset, partial, cmd.dataIdx,
+                               cmd.traceId);
             }
             if (cmd.nextDest2 != sim::kInvalidNode) {
                 // Q-bound copy: apply g^idx at the sender so the reducer
@@ -227,23 +250,24 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
                 ec::Buffer qcopy = partial.clone();
                 applyQCoefficient(qcopy, cmd.dataIdx);
                 node_.cpu().executeBytes(
-                    qcopy.size(), cluster_.config().gfBw, 0,
-                    [this, cmd, relay, qcopy]() {
+                    qcopy.size(), cluster_.config().gfBw, 0, cmd.traceId,
+                    "parity.gf", [this, cmd, relay, qcopy]() {
                         forwardPartial(opOf(cmd.commandId), cmd.nextDest2,
                                        relay, cmd.fwdOffset, qcopy,
-                                       cmd.dataIdx);
+                                       cmd.dataIdx, cmd.traceId);
                     });
             }
         };
         auto do_write = [this, cmd, from, new_data]() {
             if (cmd.length == 0)
                 return;
-            node_.ssd().write(cmd.offset, new_data,
+            node_.ssd().write(cmd.offset, new_data, cmd.traceId,
                               [this, cmd, from](blockdev::IoStatus st) {
                 sendCompletion(from, cmd.commandId,
                                st == blockdev::IoStatus::kOk
                                    ? proto::Status::kSuccess
-                                   : proto::Status::kFailed);
+                                   : proto::Status::kFailed,
+                               {}, cmd.traceId);
             });
         };
 
@@ -258,14 +282,15 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
                 do_forward();
                 return;
             }
-            node_.ssd().write(cmd.offset, new_data,
+            node_.ssd().write(cmd.offset, new_data, cmd.traceId,
                               [this, cmd, from,
                                do_forward](blockdev::IoStatus st) {
                 do_forward();
                 sendCompletion(from, cmd.commandId,
                                st == blockdev::IoStatus::kOk
                                    ? proto::Status::kSuccess
-                                   : proto::Status::kFailed);
+                                   : proto::Status::kFailed,
+                               {}, cmd.traceId);
             });
         }
     });
@@ -283,8 +308,8 @@ DraidBdev::handleParity(const net::Message &msg)
     const auto from = msg.from;
     auto payload = msg.payload;
 
-    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd, from,
-                                                          payload]() {
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd", [this, cmd, from, payload]() {
         const std::uint64_t key = opOf(cmd.commandId);
         auto &s = reduce_.obtain(key);
         if (s.absorbed > 0)
@@ -298,16 +323,17 @@ DraidBdev::handleParity(const net::Message &msg)
         s.replyTo = from;
         s.hostCmdId = cmd.commandId;
         s.remaining += cmd.waitNum;
+        s.traceId = cmd.traceId;
 
         if (cmd.subtype == proto::Subtype::kRmw) {
             // Preload and fold in the old parity window.
             s.preloadPending = true;
-            node_.ssd().read(cmd.offset, cmd.length,
+            node_.ssd().read(cmd.offset, cmd.length, cmd.traceId,
                              [this, key, cmd](blockdev::IoStatus,
                                               ec::Buffer data) {
                 node_.cpu().executeBytes(
-                    data.size(), cluster_.config().xorBw, 0,
-                    [this, key, cmd, data]() {
+                    data.size(), cluster_.config().xorBw, 0, cmd.traceId,
+                    "reduce.xor", [this, key, cmd, data]() {
                         auto *s = reduce_.find(key);
                         if (!s)
                             return;
@@ -323,8 +349,9 @@ DraidBdev::handleParity(const net::Message &msg)
             // chunk's new content itself (pulled like any other partial).
             cluster_.fabric().rdmaRead(node_.id(), from, payload.size(),
                                        [this, key, cmd, payload]() {
-                absorbContribution(key, cmd.fwdOffset, payload, true);
-            });
+                absorbContribution(key, cmd.fwdOffset, payload, true,
+                                   cmd.traceId);
+            }, cmd.traceId);
         }
 
         // Barrier-mode ablation: reduction may only start once every
@@ -353,7 +380,7 @@ DraidBdev::tryBarrierFlush(std::uint64_t key)
         auto pending = std::move(it->second);
         stashed_.erase(it);
         for (auto &[off, buf] : pending)
-            absorbContribution(key, off, std::move(buf), true);
+            absorbContribution(key, off, std::move(buf), true, s->traceId);
     }
     if (s->barrierExpect == 0)
         maybeFinish(key);
@@ -366,8 +393,8 @@ DraidBdev::handlePeer(const net::Message &msg)
     const auto from = msg.from;
     auto payload = msg.payload;
 
-    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd, from,
-                                                          payload]() {
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd", [this, cmd, from, payload]() {
         const std::uint64_t key = opOf(cmd.commandId);
         // Pull the announced partial from the peer.
         cluster_.fabric().rdmaRead(node_.id(), from, cmd.fwdLength,
@@ -379,16 +406,19 @@ DraidBdev::handlePeer(const net::Message &msg)
                 tryBarrierFlush(key);
                 return;
             }
-            absorbContribution(key, cmd.fwdOffset, payload, true);
-        });
+            absorbContribution(key, cmd.fwdOffset, payload, true,
+                               cmd.traceId);
+        }, cmd.traceId);
     });
 }
 
 void
 DraidBdev::absorbContribution(std::uint64_t key, std::uint32_t offset,
-                              ec::Buffer data, bool counted)
+                              ec::Buffer data, bool counted,
+                              std::uint64_t trace)
 {
-    node_.cpu().executeBytes(data.size(), cluster_.config().xorBw, 0,
+    node_.cpu().executeBytes(data.size(), cluster_.config().xorBw, 0, trace,
+                             "reduce.xor",
                              [this, key, offset, data, counted]() {
         auto &s = reduce_.obtain(key);
         if (counted)
@@ -414,15 +444,18 @@ DraidBdev::maybeFinish(std::uint64_t key)
     const auto addr = s->chunkDeviceAddr + s->baseOffset;
     const auto spare = s->spareDest;
     const auto kind = s->kind;
+    const auto trace = s->traceId;
     reduce_.erase(key);
 
     if (kind == SessionKind::kParity) {
-        node_.ssd().write(addr, window, [this, reply_to,
-                                         cmd_id](blockdev::IoStatus st) {
+        node_.ssd().write(addr, window, trace,
+                          [this, reply_to, cmd_id,
+                           trace](blockdev::IoStatus st) {
             sendCompletion(reply_to, cmd_id,
                            st == blockdev::IoStatus::kOk
                                ? proto::Status::kSuccess
-                               : proto::Status::kFailed);
+                               : proto::Status::kFailed,
+                           {}, trace);
         });
         return;
     }
@@ -431,15 +464,16 @@ DraidBdev::maybeFinish(std::uint64_t key)
     if (spare != sim::kInvalidNode) {
         // Rebuild: write straight to the spare, then report to the host.
         writeToPeer(spare, addr, window,
-                    [this, reply_to, cmd_id](proto::Status st) {
-                        sendCompletion(reply_to, cmd_id, st);
-                    });
+                    [this, reply_to, cmd_id, trace](proto::Status st) {
+                        sendCompletion(reply_to, cmd_id, st, {}, trace);
+                    }, trace);
         return;
     }
     cluster_.fabric().rdmaWrite(node_.id(), reply_to, window.size(),
-                                [this, reply_to, cmd_id, window]() {
-        sendCompletion(reply_to, cmd_id, proto::Status::kSuccess, window);
-    });
+                                [this, reply_to, cmd_id, window, trace]() {
+        sendCompletion(reply_to, cmd_id, proto::Status::kSuccess, window,
+                       trace);
+    }, trace);
 }
 
 // ---------------------------------------------------------------------------
@@ -453,8 +487,8 @@ DraidBdev::handleReconstruction(const net::Message &msg)
     const auto cmd = msg.capsule;
     const auto from = msg.from;
 
-    node_.cpu().execute(cluster_.config().serverCmdCost, [this, cmd,
-                                                          from]() {
+    node_.cpu().execute(cluster_.config().serverCmdCost, cmd.traceId,
+                        "srv.cmd", [this, cmd, from]() {
         assert(!cmd.sgList.empty());
         const std::uint64_t chunk_addr = cmd.sgList[0].addr;
         const std::uint64_t recon_lo = chunk_addr + cmd.fwdOffset;
@@ -470,6 +504,7 @@ DraidBdev::handleReconstruction(const net::Message &msg)
         }
 
         node_.ssd().read(lo, static_cast<std::uint32_t>(hi - lo),
+                         cmd.traceId,
                          [this, cmd, from, lo, recon_lo,
                           also_read](blockdev::IoStatus, ec::Buffer data) {
             ec::Buffer recon = data.slice(
@@ -491,6 +526,7 @@ DraidBdev::handleReconstruction(const net::Message &msg)
                 s.replyTo = from;
                 s.hostCmdId = makeCmdId(key, kReducerSub);
                 s.remaining += cmd.waitNum;
+                s.traceId = cmd.traceId;
                 if (cmd.nextDest != from)
                     s.spareDest = cmd.nextDest;
                 // Fold in our own chunk's contribution locally. The
@@ -501,8 +537,8 @@ DraidBdev::handleReconstruction(const net::Message &msg)
                 // is missing this very chunk.
                 s.preloadPending = true;
                 node_.cpu().executeBytes(
-                    recon.size(), cluster_.config().xorBw, 0,
-                    [this, key, off = cmd.fwdOffset, recon]() {
+                    recon.size(), cluster_.config().xorBw, 0, cmd.traceId,
+                    "reduce.xor", [this, key, off = cmd.fwdOffset, recon]() {
                         auto *sess = reduce_.find(key);
                         if (!sess)
                             return;
@@ -516,7 +552,8 @@ DraidBdev::handleReconstruction(const net::Message &msg)
                 forwardPartial(opOf(cmd.commandId), cmd.nextDest,
                                opts_.p2pForwarding ? sim::kInvalidNode
                                                    : from,
-                               cmd.fwdOffset, recon, cmd.dataIdx);
+                               cmd.fwdOffset, recon, cmd.dataIdx,
+                               cmd.traceId);
             }
 
             if (also_read) {
@@ -525,8 +562,9 @@ DraidBdev::handleReconstruction(const net::Message &msg)
                 cluster_.fabric().rdmaWrite(node_.id(), from, direct.size(),
                                             [this, cmd, from, direct]() {
                     sendCompletion(from, cmd.commandId,
-                                   proto::Status::kSuccess, direct);
-                });
+                                   proto::Status::kSuccess, direct,
+                                   cmd.traceId);
+                }, cmd.traceId);
             }
         });
     });
@@ -539,7 +577,8 @@ DraidBdev::handleReconstruction(const net::Message &msg)
 void
 DraidBdev::forwardPartial(std::uint64_t op_id, sim::NodeId dest,
                           sim::NodeId relay, std::uint32_t fwd_offset,
-                          ec::Buffer partial, std::uint16_t data_idx)
+                          ec::Buffer partial, std::uint16_t data_idx,
+                          std::uint64_t trace)
 {
     proto::Capsule peer;
     peer.opcode = proto::Opcode::kPeer;
@@ -548,6 +587,7 @@ DraidBdev::forwardPartial(std::uint64_t op_id, sim::NodeId dest,
     peer.fwdLength = static_cast<std::uint32_t>(partial.size());
     peer.nextDest = dest;
     peer.dataIdx = data_idx;
+    peer.traceId = trace;
     const sim::NodeId to = relay != sim::kInvalidNode ? relay : dest;
     cluster_.fabric().send(net::Message{node_.id(), to, std::move(peer),
                                         std::move(partial)});
@@ -576,7 +616,8 @@ DraidBdev::handleSelfCompletion(const net::Message &msg)
 void
 DraidBdev::writeToPeer(sim::NodeId dest, std::uint64_t offset,
                        ec::Buffer data,
-                       std::function<void(proto::Status)> done)
+                       std::function<void(proto::Status)> done,
+                       std::uint64_t trace)
 {
     const std::uint64_t id = makeCmdId(selfNext_++, 0xfe);
     proto::Capsule c;
@@ -584,6 +625,7 @@ DraidBdev::writeToPeer(sim::NodeId dest, std::uint64_t offset,
     c.commandId = id;
     c.offset = offset;
     c.length = static_cast<std::uint32_t>(data.size());
+    c.traceId = trace;
     selfPending_[id] = std::move(done);
     cluster_.fabric().send(net::Message{node_.id(), dest, std::move(c),
                                         std::move(data)});

@@ -68,7 +68,8 @@ class DraidBdev : public blockdev::NvmfTarget
     void handleParity(const net::Message &msg);
     void handlePeer(const net::Message &msg);
     void absorbContribution(std::uint64_t key, std::uint32_t offset,
-                            ec::Buffer data, bool counted);
+                            ec::Buffer data, bool counted,
+                            std::uint64_t trace = 0);
     void maybeFinish(std::uint64_t key);
 
     /** Barrier-mode ablation: reduce once the full partial set arrived. */
@@ -86,7 +87,8 @@ class DraidBdev : public blockdev::NvmfTarget
      */
     void forwardPartial(std::uint64_t op_id, sim::NodeId dest,
                         sim::NodeId relay, std::uint32_t fwd_offset,
-                        ec::Buffer partial, std::uint16_t data_idx);
+                        ec::Buffer partial, std::uint16_t data_idx,
+                        std::uint64_t trace = 0);
 
     /** Apply the Q coefficient g^idx to a partial result (CPU-charged). */
     void applyQCoefficient(ec::Buffer &partial, std::uint16_t idx);
@@ -96,7 +98,8 @@ class DraidBdev : public blockdev::NvmfTarget
 
     /** Issue a standard write to another node (rebuild spare writes). */
     void writeToPeer(sim::NodeId dest, std::uint64_t offset, ec::Buffer data,
-                     std::function<void(proto::Status)> done);
+                     std::function<void(proto::Status)> done,
+                     std::uint64_t trace = 0);
 
     DraidOptions opts_;
     ReduceEngine reduce_;

@@ -40,6 +40,8 @@ DraidHost::DraidHost(cluster::Cluster &cluster, const DraidOptions &options,
         targetMap_[i] = i;
     cluster_.fabric().setEndpoint(cluster_.hostId(), this);
 
+    setupTelemetry();
+
     if (opts_.reducerPolicy == ReducerPolicy::kBwAware) {
         auto sel = std::make_unique<BwAwareReducerSelector>(
             cluster_.config().ewmaAlpha);
@@ -52,6 +54,60 @@ DraidHost::DraidHost(cluster::Cluster &cluster, const DraidOptions &options,
     } else {
         selector_ = std::make_unique<RandomReducerSelector>();
     }
+}
+
+void
+DraidHost::setupTelemetry()
+{
+    // The HostCounters struct stays the source of truth (tests read its
+    // fields directly); the registry exposes the same storage via probes
+    // instead of duplicating the counts.
+    auto scope = cluster_.nodeScope(cluster_.hostId()).scope("draid");
+    const HostCounters &c = counters_;
+    scope.probe("full_stripe_writes", [&c] {
+        return static_cast<double>(c.fullStripeWrites);
+    });
+    scope.probe("rmw_writes",
+                [&c] { return static_cast<double>(c.rmwWrites); });
+    scope.probe("rcw_writes",
+                [&c] { return static_cast<double>(c.rcwWrites); });
+    scope.probe("normal_reads",
+                [&c] { return static_cast<double>(c.normalReads); });
+    scope.probe("degraded_reads",
+                [&c] { return static_cast<double>(c.degradedReads); });
+    scope.probe("degraded_writes",
+                [&c] { return static_cast<double>(c.degradedWrites); });
+    scope.probe("retries", [&c] { return static_cast<double>(c.retries); });
+    scope.probe("failovers",
+                [&c] { return static_cast<double>(c.failovers); });
+
+    readLatencyUs_ = &scope.histogram("read_latency_us",
+                                      telemetry::latencyBucketsUs());
+    writeLatencyUs_ = &scope.histogram("write_latency_us",
+                                       telemetry::latencyBucketsUs());
+}
+
+void
+DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
+                        sim::Tick start, std::uint64_t bytes,
+                        telemetry::Histogram *lat_us)
+{
+    const sim::Tick end = cluster_.sim().now();
+    if (lat_us)
+        lat_us->observe(static_cast<double>(end - start) /
+                        sim::kMicrosecond);
+    telemetry::Tracer &tracer = cluster_.tracer();
+    if (trace == 0 || !tracer.enabled())
+        return;
+    telemetry::TraceSpan span;
+    span.traceId = trace;
+    span.node = cluster_.hostId();
+    span.lane = "op";
+    span.name = name;
+    span.start = start;
+    span.end = end;
+    span.args.emplace_back("bytes", std::to_string(bytes));
+    tracer.recordSpan(std::move(span));
 }
 
 std::uint64_t
@@ -154,6 +210,7 @@ DraidHost::onMessage(const net::Message &msg)
     const bool ok = msg.capsule.status == proto::Status::kSuccess;
     auto payload = msg.payload;
     cluster_.host().cpu().execute(cluster_.config().hostCompletionCost,
+                                  msg.capsule.traceId, "host.completion",
                                   [this, op, sub, ok,
                                    payload = std::move(payload)]() mutable {
         completeSub(op, sub, ok, std::move(payload));
@@ -165,7 +222,9 @@ DraidHost::sendCapsule(std::uint32_t device, proto::Capsule capsule,
                        ec::Buffer payload)
 {
     const sim::NodeId node = nodeOf(device);
+    const std::uint64_t trace = capsule.traceId;
     cluster_.host().cpu().execute(cluster_.config().hostCmdCost,
+                                  trace, "host.cmd",
                                   [this, node,
                                    capsule = std::move(capsule),
                                    payload = std::move(payload)]() mutable {
@@ -217,29 +276,39 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
                  blockdev::WriteCallback cb)
 {
     assert(offset + data.size() <= sizeBytes());
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick op_start = cluster_.sim().now();
+    const std::uint64_t op_bytes = data.size();
     auto plans = planner_.plan(offset, data.size());
     assert(!plans.empty());
 
     auto remaining = std::make_shared<int>(static_cast<int>(plans.size()));
     auto all_ok = std::make_shared<bool>(true);
+    auto wrapped = [this, cb = std::move(cb), trace, op_start,
+                    op_bytes](blockdev::IoStatus st) {
+        finishOpSpan(trace, "draid.write", op_start, op_bytes,
+                     writeLatencyUs_);
+        cb(st);
+    };
 
     std::size_t pos = 0;
     for (auto &plan : plans) {
         auto sw = std::make_shared<StripeWrite>();
         sw->plan = plan;
         sw->retriesLeft = opts_.maxRetries;
+        sw->traceId = trace;
         for (const auto &seg : plan.writes) {
             sw->segData.push_back(data.slice(pos, seg.length));
             pos += seg.length;
         }
         const std::uint64_t stripe = plan.stripe;
-        sw->done = [this, stripe, remaining, all_ok, cb](bool ok) {
+        sw->done = [this, stripe, remaining, all_ok, wrapped](bool ok) {
             writeLocks_.release(stripe);
             if (!ok)
                 *all_ok = false;
             if (--*remaining == 0)
-                cb(*all_ok ? blockdev::IoStatus::kOk
-                           : blockdev::IoStatus::kError);
+                wrapped(*all_ok ? blockdev::IoStatus::kOk
+                                : blockdev::IoStatus::kError);
         };
         writeLocks_.acquire(stripe,
                             [this, sw]() { executeStripeWrite(sw); });
@@ -409,6 +478,7 @@ DraidHost::executeDegradedTargetedWrite(std::shared_ptr<StripeWrite> sw,
         c.dataIdx = static_cast<std::uint16_t>(i);
         c.stripe = stripe;
         c.waitNum = 0;
+        c.traceId = sw->traceId;
         sendCapsule(geom_.dataDevice(stripe, i), std::move(c), {});
     }
 
@@ -423,6 +493,7 @@ DraidHost::executeDegradedTargetedWrite(std::shared_ptr<StripeWrite> sw,
         c.fwdLength = seg.length;
         c.waitNum = static_cast<std::uint16_t>(survivors + 1);
         c.stripe = stripe;
+        c.traceId = sw->traceId;
         return c;
     };
     sendCapsule(p_dev, make_parity(kParitySub), data);
@@ -497,21 +568,24 @@ DraidHost::executeFullStripe(std::shared_ptr<StripeWrite> sw)
         for (auto &[dev, buf] : ios) {
             if (failed_ && dev == *failed_)
                 continue;
-            initiator_.writeRemote(targetOf(dev), addr, buf, finish);
+            initiator_.writeRemote(targetOf(dev), addr, buf, finish,
+                                   sw->traceId);
         }
         (void)stripe;
         (void)chunk;
     };
 
     // Charge the host-side parity computation.
+    const std::uint64_t trace = sw->traceId;
     if (geom_.level() == raid::RaidLevel::kRaid6) {
-        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0,
-                         [&cpu, &cfg, stripe_bytes, issue]() {
+        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0, trace, "parity.xor",
+                         [&cpu, &cfg, stripe_bytes, trace, issue]() {
                              cpu.executeBytes(stripe_bytes, cfg.gfBw, 0,
-                                              issue);
+                                              trace, "parity.gf", issue);
                          });
     } else {
-        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0, issue);
+        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0, trace, "parity.xor",
+                         issue);
     }
 }
 
@@ -542,7 +616,7 @@ DraidHost::executeParityLessWrite(std::shared_ptr<StripeWrite> sw)
                 else
                     retryStripe(sw);
             }
-        });
+        }, sw->traceId);
     }
 }
 
@@ -606,6 +680,7 @@ DraidHost::executePartialStripe(std::shared_ptr<StripeWrite> sw)
         c.nextDest2 = q_node;
         c.dataIdx = static_cast<std::uint16_t>(seg.dataIdx);
         c.stripe = stripe;
+        c.traceId = sw->traceId;
         sendCapsule(geom_.dataDevice(stripe, seg.dataIdx), std::move(c),
                     sw->segData[i]);
     }
@@ -629,6 +704,7 @@ DraidHost::executePartialStripe(std::shared_ptr<StripeWrite> sw)
         c.nextDest2 = q_node;
         c.dataIdx = static_cast<std::uint16_t>(idx);
         c.stripe = stripe;
+        c.traceId = sw->traceId;
         sendCapsule(dev, std::move(c), {});
     }
 
@@ -645,6 +721,7 @@ DraidHost::executePartialStripe(std::shared_ptr<StripeWrite> sw)
         c.fwdLength = plan.parityLength;
         c.waitNum = static_cast<std::uint16_t>(wait_num);
         c.stripe = stripe;
+        c.traceId = sw->traceId;
         return c;
     };
 
@@ -707,6 +784,7 @@ DraidHost::retryStripe(std::shared_ptr<StripeWrite> sw)
             fsw->segData.push_back(g->chunks[idx]);
         }
         fsw->retriesLeft = sw->retriesLeft;
+        fsw->traceId = sw->traceId;
         fsw->done = sw->done;
         executeFullStripe(fsw);
     };
@@ -740,7 +818,7 @@ DraidHost::retryStripe(std::shared_ptr<StripeWrite> sw)
             (void)sw;
             if (--g->remaining == 0)
                 merged();
-        });
+        }, sw->traceId);
     }
 }
 
@@ -775,6 +853,8 @@ DraidHost::read(std::uint64_t offset, std::uint32_t length,
 {
     assert(offset + length <= sizeBytes());
     ++counters_.normalReads;
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);
 
@@ -790,23 +870,28 @@ DraidHost::read(std::uint64_t offset, std::uint32_t length,
 
     auto remaining = std::make_shared<int>(static_cast<int>(groups.size()));
     auto all_ok = std::make_shared<bool>(true);
-    auto group_done = [remaining, all_ok, out, cb](bool ok) {
+    auto group_done = [this, remaining, all_ok, out, cb, trace, op_start,
+                       length](bool ok) {
         if (!ok)
             *all_ok = false;
-        if (--*remaining == 0)
+        if (--*remaining == 0) {
+            finishOpSpan(trace, "draid.read", op_start, length,
+                         readLatencyUs_);
             cb(*all_ok ? blockdev::IoStatus::kOk
                        : blockdev::IoStatus::kError,
                out);
+        }
     };
 
     for (auto &[stripe, ge] : groups)
-        readStripeGroup(stripe, std::move(ge), out, group_done);
+        readStripeGroup(stripe, std::move(ge), out, group_done, trace);
 }
 
 void
 DraidHost::readStripeGroup(std::uint64_t stripe,
                            std::vector<GroupExtent> extents, ec::Buffer out,
-                           std::function<void(bool)> done)
+                           std::function<void(bool)> done,
+                           std::uint64_t trace)
 {
     const bool has_failed_extent =
         failed_ && std::any_of(extents.begin(), extents.end(),
@@ -814,7 +899,8 @@ DraidHost::readStripeGroup(std::uint64_t stripe,
                                    return deviceOf(g.extent) == *failed_;
                                });
     if (has_failed_extent) {
-        degradedStripeRead(stripe, std::move(extents), out, std::move(done));
+        degradedStripeRead(stripe, std::move(extents), out, std::move(done),
+                           trace);
         return;
     }
 
@@ -836,7 +922,8 @@ DraidHost::readStripeGroup(std::uint64_t stripe,
                 }
                 if (--*remaining == 0)
                     done(*all_ok);
-            });
+            },
+            trace);
     }
 }
 
@@ -862,7 +949,8 @@ void
 DraidHost::degradedStripeRead(std::uint64_t stripe,
                               std::vector<GroupExtent> extents,
                               ec::Buffer out,
-                              std::function<void(bool)> done)
+                              std::function<void(bool)> done,
+                              std::uint64_t trace)
 {
     ++counters_.degradedReads;
     assert(failed_);
@@ -913,7 +1001,8 @@ DraidHost::degradedStripeRead(std::uint64_t stripe,
     registerAndBroadcastReconstruction(
         stripe, participants, reducer, recon_off, recon_len,
         /*spare_node=*/sim::kInvalidNode, *extents_shared, fidx,
-        std::move(on_data), std::move(done));
+        std::move(on_data), std::move(done), proto::Subtype::kNoRead,
+        trace);
 }
 
 void
@@ -922,7 +1011,8 @@ DraidHost::registerAndBroadcastReconstruction(
     std::uint32_t reducer, std::uint32_t recon_off, std::uint32_t recon_len,
     sim::NodeId spare_node, const std::vector<GroupExtent> &extents,
     std::uint32_t fidx, std::function<void(std::uint8_t, ec::Buffer)> on_data,
-    std::function<void(bool)> done, proto::Subtype base_subtype)
+    std::function<void(bool)> done, proto::Subtype base_subtype,
+    std::uint64_t trace)
 {
     std::set<std::uint8_t> subs{kReducerSub};
     for (const auto &g : extents) {
@@ -965,6 +1055,7 @@ DraidHost::registerAndBroadcastReconstruction(
         c.sgList.push_back(proto::Sge{chunk_addr, geom_.chunkSize()});
         c.dataIdx = static_cast<std::uint16_t>(idx);
         c.stripe = stripe;
+        c.traceId = trace;
         if (is_reducer) {
             c.nextDest = spare_node != sim::kInvalidNode
                              ? spare_node
@@ -981,7 +1072,8 @@ DraidHost::registerAndBroadcastReconstruction(
 
 void
 DraidHost::readChunk(std::uint64_t stripe, std::uint32_t data_idx,
-                     std::function<void(bool, ec::Buffer)> cb)
+                     std::function<void(bool, ec::Buffer)> cb,
+                     std::uint64_t trace)
 {
     const std::uint32_t dev = geom_.dataDevice(stripe, data_idx);
     const std::uint32_t chunk = geom_.chunkSize();
@@ -992,14 +1084,15 @@ DraidHost::readChunk(std::uint64_t stripe, std::uint32_t data_idx,
         std::vector<GroupExtent> extents{
             GroupExtent{raid::Extent{stripe, data_idx, 0, chunk}, 0}};
         degradedStripeRead(stripe, std::move(extents), out,
-                           [cb, out](bool ok) { cb(ok, out); });
+                           [cb, out](bool ok) { cb(ok, out); }, trace);
         return;
     }
     initiator_.readRemote(targetOf(dev), addr, chunk,
                           [cb](blockdev::IoStatus st, ec::Buffer data) {
                               cb(st == blockdev::IoStatus::kOk,
                                  std::move(data));
-                          });
+                          },
+                          trace);
 }
 
 // ---------------------------------------------------------------------------
@@ -1039,10 +1132,17 @@ DraidHost::reconstructChunk(std::uint64_t stripe, std::uint32_t spare_target,
     if (bwAware_ && reducer < reconTxAttributed_.size())
         reconTxAttributed_[reducer] += chunk;
 
+    const std::uint64_t trace = cluster_.tracer().mint();
+    const sim::Tick start = cluster_.sim().now();
+    auto wrapped = [this, done = std::move(done), trace, start,
+                    chunk](bool ok) {
+        finishOpSpan(trace, "draid.reconstruct", start, chunk, nullptr);
+        done(ok);
+    };
     registerAndBroadcastReconstruction(
         stripe, participants, reducer, 0, chunk,
         cluster_.targetNodeId(spare_target), {}, fidx, nullptr,
-        std::move(done), subtype);
+        std::move(wrapped), subtype, trace);
 }
 
 // ---------------------------------------------------------------------------

@@ -157,6 +157,7 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
         raid::StripeWritePlan plan;
         std::vector<ec::Buffer> segData; ///< parallel to plan.writes
         int retriesLeft = 0;
+        std::uint64_t traceId = 0; ///< telemetry id of the user write
         std::function<void(bool)> done;
     };
 
@@ -188,10 +189,12 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
 
     void readStripeGroup(std::uint64_t stripe,
                          std::vector<GroupExtent> extents, ec::Buffer out,
-                         std::function<void(bool)> done);
+                         std::function<void(bool)> done,
+                         std::uint64_t trace = 0);
     void degradedStripeRead(std::uint64_t stripe,
                             std::vector<GroupExtent> extents, ec::Buffer out,
-                            std::function<void(bool)> done);
+                            std::function<void(bool)> done,
+                            std::uint64_t trace = 0);
 
     /** Shared by degraded reads and rebuild: register + broadcast. */
     void registerAndBroadcastReconstruction(
@@ -201,14 +204,16 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
         const std::vector<GroupExtent> &extents, std::uint32_t fidx,
         std::function<void(std::uint8_t, ec::Buffer)> on_data,
         std::function<void(bool)> done,
-        proto::Subtype base_subtype = proto::Subtype::kNoRead);
+        proto::Subtype base_subtype = proto::Subtype::kNoRead,
+        std::uint64_t trace = 0);
 
     /**
      * Read one whole data chunk, transparently reconstructing it when it
      * lives on the failed device (used by full-stripe retry).
      */
     void readChunk(std::uint64_t stripe, std::uint32_t data_idx,
-                   std::function<void(bool, ec::Buffer)> cb);
+                   std::function<void(bool, ec::Buffer)> cb,
+                   std::uint64_t trace = 0);
 
     // ---- helpers ----
     void sendCapsule(std::uint32_t device, proto::Capsule capsule,
@@ -261,6 +266,16 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
     std::vector<std::uint64_t> reconTxAttributed_;
 
     HostCounters counters_;
+
+    /** Register host0.draid.* probes + latency histograms. */
+    void setupTelemetry();
+
+    /** Record a completed user op span + latency sample. */
+    void finishOpSpan(std::uint64_t trace, const char *name, sim::Tick start,
+                      std::uint64_t bytes, telemetry::Histogram *lat_us);
+
+    telemetry::Histogram *readLatencyUs_ = nullptr;
+    telemetry::Histogram *writeLatencyUs_ = nullptr;
 };
 
 /**

@@ -1,7 +1,10 @@
 #include "core/reconstruct.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 namespace draid::core {
 
@@ -33,12 +36,45 @@ RebuildJob::start(std::function<void(bool)> done)
 }
 
 void
+RebuildJob::bindTrace(telemetry::Tracer *tracer, sim::NodeId node)
+{
+    tracer_ = tracer;
+    traceNode_ = node;
+}
+
+void
+RebuildJob::registerMetrics(telemetry::MetricScope scope)
+{
+    scope.probe("stripes_done", [this] { return done_; });
+    scope.probe("failures", [this] { return failures_; });
+    scope.probe("in_flight",
+                [this] { return static_cast<std::uint64_t>(inFlight_); });
+}
+
+void
 RebuildJob::pump()
 {
     while (inFlight_ < window_ && next_ < numStripes_) {
         const std::uint64_t stripe = next_++;
         ++inFlight_;
-        fn_(stripe, [this](bool ok) { onStripeDone(ok); });
+        const bool traced = tracer_ && tracer_->enabled();
+        const std::uint64_t trace = traced ? tracer_->mint() : 0;
+        const sim::Tick issued = sim_.now();
+        fn_(stripe, [this, stripe, trace, issued](bool ok) {
+            if (trace != 0 && tracer_ && tracer_->enabled()) {
+                telemetry::TraceSpan span;
+                span.traceId = trace;
+                span.node = traceNode_;
+                span.lane = "rebuild";
+                span.name = "rebuild.stripe";
+                span.start = issued;
+                span.end = sim_.now();
+                span.args.emplace_back("stripe", std::to_string(stripe));
+                span.args.emplace_back("ok", ok ? "1" : "0");
+                tracer_->recordSpan(std::move(span));
+            }
+            onStripeDone(ok);
+        });
     }
 }
 

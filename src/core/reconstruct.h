@@ -16,6 +16,11 @@
 
 #include "sim/simulator.h"
 #include "sim/types.h"
+#include "telemetry/metrics.h"
+
+namespace draid::telemetry {
+class Tracer;
+}
 
 namespace draid::core {
 
@@ -40,6 +45,16 @@ class RebuildJob
     /** Begin rebuilding; @p done fires when every stripe has been tried. */
     void start(std::function<void(bool)> done);
 
+    /**
+     * Attach a span sink: each stripe's issue-to-completion window is
+     * recorded as a "rebuild.stripe" span on node @p node (lane
+     * "rebuild"). No-op cost when the tracer is disabled.
+     */
+    void bindTrace(telemetry::Tracer *tracer, sim::NodeId node);
+
+    /** Register progress probes (stripes_done, failures, in_flight). */
+    void registerMetrics(telemetry::MetricScope scope);
+
     std::uint64_t stripesDone() const { return done_; }
     std::uint64_t failures() const { return failures_; }
 
@@ -54,6 +69,8 @@ class RebuildJob
 
     sim::Simulator &sim_;
     StripeFn fn_;
+    telemetry::Tracer *tracer_ = nullptr;
+    sim::NodeId traceNode_ = 0;
     std::uint64_t numStripes_;
     std::uint32_t chunkBytes_;
     int window_;

@@ -11,7 +11,10 @@ namespace draid::core {
 ReduceSession &
 ReduceEngine::obtain(std::uint64_t key)
 {
-    return sessions_[key];
+    auto [it, created] = sessions_.try_emplace(key);
+    if (created)
+        ++stats_.sessionsCreated;
+    return it->second;
 }
 
 ReduceSession *
@@ -24,7 +27,12 @@ ReduceEngine::find(std::uint64_t key)
 void
 ReduceEngine::erase(std::uint64_t key)
 {
-    sessions_.erase(key);
+    auto it = sessions_.find(key);
+    if (it == sessions_.end())
+        return;
+    stats_.partialsAbsorbed += it->second.absorbed;
+    stats_.bytesAbsorbed += it->second.bytesAbsorbed;
+    sessions_.erase(it);
 }
 
 namespace {
@@ -60,6 +68,7 @@ ReduceEngine::absorbNoCount(ReduceSession &s, std::uint32_t offset,
     ensureCapacity(s, offset + static_cast<std::uint32_t>(data.size()));
     ec::xorInto(s.acc.data() + offset, data.data(), data.size());
     ++s.absorbed;
+    s.bytesAbsorbed += data.size();
 }
 
 bool

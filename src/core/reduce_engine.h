@@ -81,11 +81,25 @@ struct ReduceSession
     /** Contributions absorbed (stats/tests). */
     std::uint32_t absorbed = 0;
 
+    /** Bytes folded into the accumulator (stats). */
+    std::uint64_t bytesAbsorbed = 0;
+
+    /** Telemetry trace id of the owning host operation (0 = untraced). */
+    std::uint64_t traceId = 0;
+
     /**
      * Barrier-mode ablation: number of Peer partials that must be
      * stashed before reduction starts; -1 until the host command arrives.
      */
     int barrierExpect = -1;
+};
+
+/** Lifetime-aggregate reduce statistics (telemetry probes). */
+struct ReduceStats
+{
+    std::uint64_t sessionsCreated = 0;
+    std::uint64_t partialsAbsorbed = 0;
+    std::uint64_t bytesAbsorbed = 0;
 };
 
 /** Session table plus the reduce arithmetic. */
@@ -98,10 +112,13 @@ class ReduceEngine
     /** Look up an existing session; nullptr if absent. */
     ReduceSession *find(std::uint64_t key);
 
-    /** Drop a finished session. */
+    /** Drop a finished session, folding its tallies into stats(). */
     void erase(std::uint64_t key);
 
     std::size_t activeSessions() const { return sessions_.size(); }
+
+    /** Aggregates over all sessions ever created (survives erase()). */
+    const ReduceStats &stats() const { return stats_; }
 
     /**
      * XOR @p data into the session accumulator at in-chunk offset
@@ -126,6 +143,7 @@ class ReduceEngine
 
   private:
     std::unordered_map<std::uint64_t, ReduceSession> sessions_;
+    ReduceStats stats_;
 };
 
 } // namespace draid::core

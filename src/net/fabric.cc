@@ -39,7 +39,7 @@ Fabric::delayFor(sim::NodeId a, sim::NodeId b) const
 
 void
 Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
-                     sim::EventFn done)
+                     std::uint64_t trace, sim::EventFn done)
 {
     auto &sp = ports_.at(src);
     auto &dp = ports_.at(dst);
@@ -52,8 +52,8 @@ Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
         if (--*remaining == 0)
             sim_.schedule(delay, std::move(done));
     };
-    sp.nic->tx().transfer(bytes, joint);
-    dp.nic->rx().transfer(bytes, joint);
+    sp.nic->tx().transfer(bytes, trace, joint);
+    dp.nic->rx().transfer(bytes, trace, joint);
 }
 
 void
@@ -66,7 +66,7 @@ Fabric::send(Message msg)
     }
     const std::uint32_t wire = msg.capsule.wireSize();
     const sim::NodeId to = msg.to;
-    transferPair(msg.from, to, wire,
+    transferPair(msg.from, to, wire, msg.capsule.traceId,
                  [this, to, msg = std::move(msg)]() {
                      // The destination may have gone down in flight.
                      if (down_.contains(to)) {
@@ -82,25 +82,25 @@ Fabric::send(Message msg)
 
 void
 Fabric::rdmaRead(sim::NodeId initiator, sim::NodeId target,
-                 std::uint64_t bytes, sim::EventFn done)
+                 std::uint64_t bytes, sim::EventFn done, std::uint64_t trace)
 {
     if (down_.contains(initiator) || down_.contains(target)) {
         ++dropped_;
         return;
     }
     // Data flows target -> initiator.
-    transferPair(target, initiator, bytes, std::move(done));
+    transferPair(target, initiator, bytes, trace, std::move(done));
 }
 
 void
 Fabric::rdmaWrite(sim::NodeId initiator, sim::NodeId target,
-                  std::uint64_t bytes, sim::EventFn done)
+                  std::uint64_t bytes, sim::EventFn done, std::uint64_t trace)
 {
     if (down_.contains(initiator) || down_.contains(target)) {
         ++dropped_;
         return;
     }
-    transferPair(initiator, target, bytes, std::move(done));
+    transferPair(initiator, target, bytes, trace, std::move(done));
 }
 
 void

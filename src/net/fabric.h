@@ -81,17 +81,20 @@ class Fabric
     /**
      * One-sided RDMA READ: @p initiator pulls @p bytes from @p target.
      * @p done fires when the data has fully arrived at the initiator.
-     * Never fires if either node is down.
+     * Never fires if either node is down. @p trace tags the NIC spans with
+     * a per-op trace id (0 = untraced).
      */
     void rdmaRead(sim::NodeId initiator, sim::NodeId target,
-                  std::uint64_t bytes, sim::EventFn done);
+                  std::uint64_t bytes, sim::EventFn done,
+                  std::uint64_t trace = 0);
 
     /**
      * One-sided RDMA WRITE: @p initiator pushes @p bytes to @p target.
      * @p done fires when the data has fully arrived at the target.
      */
     void rdmaWrite(sim::NodeId initiator, sim::NodeId target,
-                   std::uint64_t bytes, sim::EventFn done);
+                   std::uint64_t bytes, sim::EventFn done,
+                   std::uint64_t trace = 0);
 
     /** Take a node off the network / bring it back. */
     void setNodeDown(sim::NodeId node, bool down);
@@ -121,7 +124,7 @@ class Fabric
 
     /** Parallel-occupancy transfer src.tx || dst.rx, then done. */
     void transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
-                      sim::EventFn done);
+                      std::uint64_t trace, sim::EventFn done);
 
     sim::Tick delayFor(sim::NodeId a, sim::NodeId b) const;
 

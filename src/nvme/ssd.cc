@@ -1,7 +1,11 @@
 #include "nvme/ssd.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 namespace draid::nvme {
 
@@ -29,7 +33,15 @@ void
 Ssd::read(std::uint64_t offset, std::uint32_t length,
           blockdev::ReadCallback cb)
 {
+    read(offset, length, 0, std::move(cb));
+}
+
+void
+Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
+          blockdev::ReadCallback cb)
+{
     bytesRead_ += length;
+    const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
     channel_.transfer(scaled(length, config_.readBw),
                       [this, offset, length, cb = std::move(cb)]() {
         sim_.schedule(config_.readLatency, [this, offset, length,
@@ -38,13 +50,33 @@ Ssd::read(std::uint64_t offset, std::uint32_t length,
             cb(blockdev::IoStatus::kOk, store_.readSync(offset, length));
         });
     });
+    if (trace != 0 && tracer_ && tracer_->enabled()) {
+        telemetry::TraceSpan span;
+        span.traceId = trace;
+        span.node = traceNode_;
+        span.lane = "ssd";
+        span.name = "ssd.read";
+        span.start = start;
+        span.end = channel_.busyUntil();
+        span.args.emplace_back("bytes", std::to_string(length));
+        tracer_->recordSpan(std::move(span));
+    }
 }
 
 void
 Ssd::write(std::uint64_t offset, ec::Buffer data, blockdev::WriteCallback cb)
 {
-    bytesWritten_ += data.size();
-    channel_.transfer(scaled(data.size(), config_.writeBw),
+    write(offset, std::move(data), 0, std::move(cb));
+}
+
+void
+Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
+           blockdev::WriteCallback cb)
+{
+    const std::uint64_t length = data.size();
+    bytesWritten_ += length;
+    const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
+    channel_.transfer(scaled(length, config_.writeBw),
                       [this, offset, data = std::move(data),
                        cb = std::move(cb)]() {
         sim_.schedule(config_.writeLatency, [this, offset,
@@ -55,6 +87,24 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, blockdev::WriteCallback cb)
             cb(blockdev::IoStatus::kOk);
         });
     });
+    if (trace != 0 && tracer_ && tracer_->enabled()) {
+        telemetry::TraceSpan span;
+        span.traceId = trace;
+        span.node = traceNode_;
+        span.lane = "ssd";
+        span.name = "ssd.write";
+        span.start = start;
+        span.end = channel_.busyUntil();
+        span.args.emplace_back("bytes", std::to_string(length));
+        tracer_->recordSpan(std::move(span));
+    }
+}
+
+void
+Ssd::bindTrace(telemetry::Tracer *tracer, sim::NodeId node)
+{
+    tracer_ = tracer;
+    traceNode_ = node;
 }
 
 } // namespace draid::nvme

@@ -23,6 +23,10 @@
 #include "sim/simulator.h"
 #include "sim/types.h"
 
+namespace draid::telemetry {
+class Tracer;
+}
+
 namespace draid::nvme {
 
 /** Calibrated performance profile of one drive. */
@@ -50,6 +54,20 @@ class Ssd : public blockdev::BlockDevice
     void write(std::uint64_t offset, ec::Buffer data,
                blockdev::WriteCallback cb) override;
 
+    /**
+     * Traced variants: record the exact media-channel occupancy window as
+     * an "ssd.read"/"ssd.write" span when telemetry is bound, tracing is
+     * enabled, and @p trace is nonzero. Timing is identical to the
+     * untraced calls.
+     */
+    void read(std::uint64_t offset, std::uint32_t length,
+              std::uint64_t trace, blockdev::ReadCallback cb);
+    void write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
+               blockdev::WriteCallback cb);
+
+    /** Attach a span sink; spans land on node @p node, lane "ssd". */
+    void bindTrace(telemetry::Tracer *tracer, sim::NodeId node);
+
     /** Direct store access for scrub checks in tests (no timing). */
     blockdev::MemoryBdev &store() { return store_; }
     const blockdev::MemoryBdev &store() const { return store_; }
@@ -74,6 +92,8 @@ class Ssd : public blockdev::BlockDevice
      * expressed by scaling the byte count with the per-direction rate.
      */
     sim::Pipe channel_;
+    telemetry::Tracer *tracer_ = nullptr;
+    sim::NodeId traceNode_ = 0;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t bytesRead_ = 0;

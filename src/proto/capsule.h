@@ -61,6 +61,14 @@ struct Capsule
     // --- completion ---
     Status status = Status::kSuccess;
 
+    // --- simulation metadata (not part of the wire format) ---
+    /**
+     * Telemetry trace id minted at the array entry point; 0 when tracing
+     * is off. Deliberately excluded from wireSize()/encode() so enabling
+     * tracing cannot change the bytes charged to the fabric.
+     */
+    std::uint64_t traceId = 0;
+
     bool operator==(const Capsule &) const = default;
 
     /** Bytes this capsule occupies on the wire. */

@@ -5,10 +5,19 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace draid::sim {
 
 void
 CpuCore::execute(Tick cost, EventFn done)
+{
+    execute(cost, 0, "", std::move(done));
+}
+
+void
+CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
+                 EventFn done)
 {
     assert(cost >= 0);
     const Tick start = std::max(sim_.now(), busyUntil_);
@@ -16,6 +25,18 @@ CpuCore::execute(Tick cost, EventFn done)
     busyUntil_ = end;
     busyTime_ += cost;
     statsBusy_ += cost;
+
+    if (trace != 0 && tracer_ && tracer_->enabled()) {
+        telemetry::TraceSpan span;
+        span.traceId = trace;
+        span.node = traceNode_;
+        span.lane = "cpu";
+        span.name = what;
+        span.start = start;
+        span.end = end;
+        tracer_->recordSpan(std::move(span));
+    }
+
     sim_.scheduleAt(end, std::move(done));
 }
 
@@ -23,11 +44,25 @@ void
 CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
                       EventFn done)
 {
+    executeBytes(bytes, bytes_per_sec, fixed, 0, "", std::move(done));
+}
+
+void
+CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+                      std::uint64_t trace, const char *what, EventFn done)
+{
     assert(bytes_per_sec > 0.0);
     const Tick cost =
         fixed + static_cast<Tick>(std::ceil(
                     static_cast<double>(bytes) / bytes_per_sec * kSecond));
-    execute(cost, std::move(done));
+    execute(cost, trace, what, std::move(done));
+}
+
+void
+CpuCore::bindTrace(telemetry::Tracer *tracer, NodeId node)
+{
+    tracer_ = tracer;
+    traceNode_ = node;
 }
 
 double

@@ -18,6 +18,10 @@
 #include "sim/simulator.h"
 #include "sim/types.h"
 
+namespace draid::telemetry {
+class Tracer;
+}
+
 namespace draid::sim {
 
 /** One simulated CPU core executing work items in FIFO order. */
@@ -33,11 +37,26 @@ class CpuCore
     void execute(Tick cost, EventFn done);
 
     /**
+     * As execute(), tagged with a per-op trace id; @p what names the span
+     * ("cmd.parse", "xor", ...). When tracing is bound and enabled and
+     * @p trace is nonzero, the exact core-occupancy window is recorded.
+     */
+    void execute(Tick cost, std::uint64_t trace, const char *what,
+                 EventFn done);
+
+    /**
      * Convenience: cost of processing @p bytes at @p bytes_per_sec plus a
      * fixed @p fixed cost, executed as one work item.
      */
     void executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
                       EventFn done);
+
+    /** Traced variant of executeBytes(). */
+    void executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+                      std::uint64_t trace, const char *what, EventFn done);
+
+    /** Attach a span sink; spans land on node @p node, lane "cpu". */
+    void bindTrace(telemetry::Tracer *tracer, NodeId node);
 
     /** Total busy ticks accumulated. */
     Tick busyTime() const { return busyTime_; }
@@ -50,6 +69,8 @@ class CpuCore
 
   private:
     Simulator &sim_;
+    telemetry::Tracer *tracer_ = nullptr;
+    NodeId traceNode_ = 0;
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;
     Tick statsBusy_ = 0;

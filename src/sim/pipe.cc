@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 namespace draid::sim {
 
@@ -23,6 +26,12 @@ Pipe::setRate(double bytes_per_sec)
 void
 Pipe::transfer(std::uint64_t bytes, EventFn done)
 {
+    transfer(bytes, 0, std::move(done));
+}
+
+void
+Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
+{
     const Tick service =
         perOp_ + static_cast<Tick>(std::ceil(
                      static_cast<double>(bytes) / rate_ * kSecond));
@@ -35,7 +44,27 @@ Pipe::transfer(std::uint64_t bytes, EventFn done)
     bytes_ += bytes;
     ++ops_;
 
+    if (trace != 0 && tracer_ && tracer_->enabled()) {
+        telemetry::TraceSpan span;
+        span.traceId = trace;
+        span.node = traceNode_;
+        span.lane = traceLane_;
+        span.name = traceLane_;
+        span.start = start;
+        span.end = end;
+        span.args.emplace_back("bytes", std::to_string(bytes));
+        tracer_->recordSpan(std::move(span));
+    }
+
     sim_.scheduleAt(end + latency_, std::move(done));
+}
+
+void
+Pipe::bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane)
+{
+    tracer_ = tracer;
+    traceNode_ = node;
+    traceLane_ = lane;
 }
 
 double

@@ -23,6 +23,10 @@
 #include "sim/simulator.h"
 #include "sim/types.h"
 
+namespace draid::telemetry {
+class Tracer;
+}
+
 namespace draid::sim {
 
 /** A FIFO bandwidth-limited channel. */
@@ -44,6 +48,20 @@ class Pipe
      * traversed the channel plus the fixed latency.
      */
     void transfer(std::uint64_t bytes, EventFn done);
+
+    /**
+     * As above, tagged with a per-op trace id. When tracing is bound and
+     * enabled and @p trace is nonzero, the exact channel-occupancy window
+     * (queueing excluded, service included) is recorded as a span.
+     */
+    void transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done);
+
+    /**
+     * Attach a span sink. @p lane names the Chrome thread ("nic.tx",
+     * "ssd.write", ...); spans are recorded on node @p node. Observe-only:
+     * tracing never changes the transfer timing computed above.
+     */
+    void bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane);
 
     /** Change the channel bandwidth (takes effect for future transfers). */
     void setRate(double bytes_per_sec);
@@ -78,6 +96,10 @@ class Pipe
     double rate_;
     Tick latency_;
     Tick perOp_;
+
+    telemetry::Tracer *tracer_ = nullptr;
+    NodeId traceNode_ = 0;
+    const char *traceLane_ = "";
 
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;

@@ -29,7 +29,10 @@ Simulator::run()
         Event ev = std::move(const_cast<Event &>(queue_.top()));
         queue_.pop();
         assert(ev.when >= now_);
+        const bool advanced = ev.when > now_;
         now_ = ev.when;
+        if (advanced && clockObserver_)
+            clockObserver_(now_);
         ++executed_;
         ev.fn();
     }
@@ -44,12 +47,18 @@ Simulator::runUntil(Tick deadline)
             break;
         Event ev = std::move(const_cast<Event &>(queue_.top()));
         queue_.pop();
+        const bool advanced = ev.when > now_;
         now_ = ev.when;
+        if (advanced && clockObserver_)
+            clockObserver_(now_);
         ++executed_;
         ev.fn();
     }
-    if (!stopped_ && now_ < deadline)
+    if (!stopped_ && now_ < deadline) {
         now_ = deadline;
+        if (clockObserver_)
+            clockObserver_(now_);
+    }
 }
 
 } // namespace draid::sim

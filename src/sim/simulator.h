@@ -73,6 +73,18 @@ class Simulator
     /** Number of events currently pending. */
     std::size_t pendingEvents() const { return queue_.size(); }
 
+    /**
+     * Install an observe-only hook fired whenever the clock advances to a
+     * new tick (before the first event at that tick executes). Used by the
+     * telemetry utilization sampler. The observer MUST NOT schedule events
+     * or otherwise mutate the simulation — it exists precisely so that
+     * sampling cannot perturb event ordering. Pass nullptr to remove.
+     */
+    void setClockObserver(std::function<void(Tick)> fn)
+    {
+        clockObserver_ = std::move(fn);
+    }
+
   private:
     struct Event
     {
@@ -93,6 +105,7 @@ class Simulator
     };
 
     std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    std::function<void(Tick)> clockObserver_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -40,6 +40,21 @@ LatencyRecorder::mean() const
     return static_cast<double>(sum_) / static_cast<double>(samples_.size());
 }
 
+double
+LatencyRecorder::stddev() const
+{
+    const auto n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double sq = 0.0;
+    for (Tick s : samples_) {
+        const double d = static_cast<double>(s) - m;
+        sq += d * d;
+    }
+    return std::sqrt(sq / static_cast<double>(n));
+}
+
 Tick
 LatencyRecorder::percentile(double p) const
 {
@@ -47,6 +62,12 @@ LatencyRecorder::percentile(double p) const
         return 0;
     assert(p >= 0.0 && p <= 100.0);
     sortIfNeeded();
+    // The extremes are exact by definition; nearest-rank rounding must not
+    // shift them onto a neighbouring sample.
+    if (p <= 0.0)
+        return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
     const auto n = samples_.size();
     auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 *
                                                    static_cast<double>(n)));

@@ -32,9 +32,12 @@ class LatencyRecorder
     /** Arithmetic mean; 0 when empty. */
     double mean() const;
 
+    /** Population standard deviation; 0 when fewer than two samples. */
+    double stddev() const;
+
     /**
      * p-th percentile by nearest-rank on the sorted samples, p in [0, 100].
-     * Returns 0 when empty.
+     * p=0 is exactly min() and p=100 exactly max(). Returns 0 when empty.
      */
     Tick percentile(double p) const;
 

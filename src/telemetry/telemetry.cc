@@ -1,0 +1,142 @@
+#include "telemetry/telemetry.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace draid::telemetry {
+
+void
+UtilizationSampler::addSource(sim::NodeId node, std::string name,
+                              std::function<sim::Tick()> busy)
+{
+    sources_.push_back(Source{node, std::move(name), std::move(busy), 0});
+}
+
+void
+UtilizationSampler::start(sim::Simulator &sim, sim::Tick interval,
+                          Tracer *tracer)
+{
+    assert(interval > 0);
+    interval_ = interval;
+    lastEmit_ = sim.now();
+    nextSample_ = sim.now() + interval;
+    tracer_ = tracer;
+    for (auto &src : sources_)
+        src.lastBusy = src.busy();
+    sim.setClockObserver([this](sim::Tick now) { onClockAdvance(now); });
+}
+
+void
+UtilizationSampler::onClockAdvance(sim::Tick now)
+{
+    if (interval_ <= 0 || now < nextSample_)
+        return;
+    // One sample per advance, stamped at the greatest interval boundary
+    // <= now, covering the whole window since the previous emission. The
+    // busy counters include committed (future) occupancy, so clamp.
+    const sim::Tick boundary =
+        nextSample_ + ((now - nextSample_) / interval_) * interval_;
+    const sim::Tick window = boundary - lastEmit_;
+    for (auto &src : sources_) {
+        const sim::Tick busyNow = src.busy();
+        double frac = window > 0
+                          ? static_cast<double>(busyNow - src.lastBusy) /
+                                static_cast<double>(window)
+                          : 0.0;
+        if (frac > 1.0)
+            frac = 1.0;
+        src.lastBusy = busyNow;
+        samples_.push_back(Sample{src.node, src.name, boundary, frac});
+        if (tracer_ && tracer_->enabled())
+            tracer_->recordCounter(src.node, src.name, boundary, frac);
+    }
+    lastEmit_ = boundary;
+    nextSample_ = boundary + interval_;
+}
+
+namespace {
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c; break;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Telemetry::writeMetricsJson(std::ostream &os) const
+{
+    os << "{\"metrics\":";
+    metrics_.writeJson(os);
+    os << ",\"timelines\":[";
+    // Samples are interleaved per window in source order; regroup them into
+    // one series per (node, name), in first-seen order.
+    const auto &samples = sampler_.samples();
+    std::vector<std::pair<sim::NodeId, std::string>> series;
+    for (const auto &s : samples) {
+        auto key = std::make_pair(s.node, s.name);
+        bool seen = false;
+        for (const auto &k : series)
+            seen = seen || k == key;
+        if (!seen)
+            series.push_back(std::move(key));
+    }
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"node\":" << series[i].first << ",\"name\":";
+        writeJsonString(os, series[i].second);
+        os << ",\"samples\":[";
+        bool firstSample = true;
+        for (const auto &s : samples) {
+            if (s.node != series[i].first || s.name != series[i].second)
+                continue;
+            if (!firstSample)
+                os << ",";
+            firstSample = false;
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "[%lld,%.4f]",
+                          static_cast<long long>(s.tick), s.value);
+            os << buf;
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+bool
+Telemetry::saveMetricsJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeMetricsJson(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+bool
+Telemetry::saveChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    tracer_.writeChromeTrace(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace draid::telemetry

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Telemetry facade: one object bundling the metrics registry, the per-op
+ * tracer, and the utilization sampler, with file export helpers.
+ *
+ * A Cluster (or baseline rig) owns one Telemetry instance and hands
+ * MetricScope views to its components. The bench harness flips the tracer
+ * and sampler on when `--trace=` / `--metrics-json=` are passed and saves
+ * the artifacts when the system under test is torn down.
+ */
+
+#ifndef DRAID_TELEMETRY_TELEMETRY_H
+#define DRAID_TELEMETRY_TELEMETRY_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace draid::telemetry {
+
+/**
+ * Periodic sampler of busy fractions (NIC tx/rx, SSD channel, CPU core).
+ *
+ * Pull-based and observe-only: it installs a clock observer on the
+ * Simulator, which fires as the run loop advances the clock. No events are
+ * scheduled, so enabling the sampler cannot perturb event ordering — the
+ * determinism guard test relies on this.
+ */
+class UtilizationSampler
+{
+  public:
+    struct Sample
+    {
+        sim::NodeId node;
+        std::string name; ///< e.g. "nic.tx.util"
+        sim::Tick tick;
+        double value; ///< busy fraction over the preceding window, [0,1]
+    };
+
+    /**
+     * Register a busy-tick source. @p busy must return cumulative busy
+     * ticks (monotone non-decreasing) and outlive the sampler.
+     */
+    void addSource(sim::NodeId node, std::string name,
+                   std::function<sim::Tick()> busy);
+
+    /**
+     * Begin sampling every @p interval ticks. Also mirrors samples into
+     * @p tracer as Chrome "C" counter events when it is enabled.
+     */
+    void start(sim::Simulator &sim, sim::Tick interval,
+               Tracer *tracer = nullptr);
+
+    bool started() const { return interval_ > 0; }
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Sampler hook, exposed for tests; called by the clock observer. */
+    void onClockAdvance(sim::Tick now);
+
+  private:
+    struct Source
+    {
+        sim::NodeId node;
+        std::string name;
+        std::function<sim::Tick()> busy;
+        sim::Tick lastBusy = 0;
+    };
+
+    std::vector<Source> sources_;
+    std::vector<Sample> samples_;
+    sim::Tick interval_ = 0;
+    sim::Tick nextSample_ = 0;
+    sim::Tick lastEmit_ = 0;
+    Tracer *tracer_ = nullptr;
+};
+
+/** The bundle a Cluster owns. */
+class Telemetry
+{
+  public:
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+    UtilizationSampler &sampler() { return sampler_; }
+    const UtilizationSampler &sampler() const { return sampler_; }
+
+    /** Root scope; components derive their own via scope("node3") etc. */
+    MetricScope root() { return MetricScope(metrics_, ""); }
+
+    /**
+     * Snapshot metrics + utilization timelines as one JSON object:
+     * {"metrics":{...},"timelines":[{"node","name","samples":[[t,v],..]}]}.
+     */
+    void writeMetricsJson(std::ostream &os) const;
+
+    /** Write the metrics snapshot to @p path. @return false on I/O error. */
+    bool saveMetricsJson(const std::string &path) const;
+
+    /** Write the Chrome trace to @p path. @return false on I/O error. */
+    bool saveChromeTrace(const std::string &path) const;
+
+  private:
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+    UtilizationSampler sampler_;
+};
+
+} // namespace draid::telemetry
+
+#endif // DRAID_TELEMETRY_TELEMETRY_H

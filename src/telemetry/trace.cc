@@ -1,0 +1,159 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace draid::telemetry {
+
+void
+Tracer::recordSpan(TraceSpan span)
+{
+    if (!enabled_)
+        return;
+    if (spans_.size() >= spanCap_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+void
+Tracer::recordCounter(sim::NodeId node, std::string name, sim::Tick tick,
+                      double value)
+{
+    if (!enabled_)
+        return;
+    counters_.push_back(CounterSample{node, std::move(name), tick, value});
+}
+
+void
+Tracer::setNodeName(sim::NodeId node, std::string name)
+{
+    nodeNames_[node] = std::move(name);
+}
+
+void
+Tracer::clear()
+{
+    spans_.clear();
+    counters_.clear();
+    dropped_ = 0;
+    nextId_ = 1;
+}
+
+namespace {
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c; break;
+        }
+    }
+    os << '"';
+}
+
+/** Ticks (integer ns) -> Chrome ts (fractional microseconds). */
+void
+writeMicros(std::ostream &os, sim::Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", t / 1000,
+                  static_cast<int>(t % 1000));
+    os << buf;
+}
+
+} // namespace
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Stable small thread ids per (node, lane), in first-use order.
+    std::map<std::pair<sim::NodeId, std::string>, int> tids;
+    auto tidOf = [&tids](sim::NodeId node, const std::string &lane) {
+        auto [it, inserted] =
+            tids.emplace(std::make_pair(node, lane),
+                         static_cast<int>(tids.size()) + 1);
+        (void)inserted;
+        return it->second;
+    };
+    for (const auto &s : spans_)
+        tidOf(s.node, s.lane);
+
+    // Process metadata: node names.
+    for (const auto &[node, name] : nodeNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << node
+           << ",\"tid\":0,\"args\":{\"name\":";
+        writeJsonString(os, name);
+        os << "}}";
+    }
+    // Thread metadata: lane names.
+    for (const auto &[key, tid] : tids) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first
+           << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+        writeJsonString(os, key.second);
+        os << "}}";
+    }
+
+    for (const auto &s : spans_) {
+        sep();
+        os << "{\"ph\":\"X\",\"name\":";
+        writeJsonString(os, s.name);
+        os << ",\"cat\":\"draid\",\"pid\":" << s.node
+           << ",\"tid\":" << tidOf(s.node, s.lane) << ",\"ts\":";
+        writeMicros(os, s.start);
+        os << ",\"dur\":";
+        writeMicros(os, s.end >= s.start ? s.end - s.start : 0);
+        os << ",\"args\":{\"trace\":" << s.traceId;
+        for (const auto &[k, v] : s.args) {
+            os << ",";
+            writeJsonString(os, k);
+            os << ":";
+            writeJsonString(os, v);
+        }
+        os << "}}";
+    }
+
+    for (const auto &c : counters_) {
+        sep();
+        os << "{\"ph\":\"C\",\"name\":";
+        writeJsonString(os, c.name);
+        os << ",\"pid\":" << c.node << ",\"tid\":0,\"ts\":";
+        writeMicros(os, c.tick);
+        os << ",\"args\":{\"value\":";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", c.value);
+        os << buf << "}}";
+    }
+
+    os << "\n]}";
+}
+
+std::string
+Tracer::toChromeTraceJson() const
+{
+    std::ostringstream oss;
+    writeChromeTrace(oss);
+    return oss.str();
+}
+
+} // namespace draid::telemetry

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Per-operation trace spans with Chrome trace_event export.
+ *
+ * Every user I/O gets a trace id minted at the array entry point
+ * (DraidHost or a baseline); the id rides in proto::Capsule (simulation
+ * metadata — never charged to the wire) so every hop — host queue, NIC tx,
+ * fabric pipe, server CPU, SSD channel, reduce engine, completion —
+ * records a timed span against the deterministic sim clock.
+ *
+ * Design rules, enforced by construction:
+ *  - Zero overhead when off: mint() returns 0 while disabled, and every
+ *    recording call is gated on a nonzero id, so the disabled path costs
+ *    one predictable branch.
+ *  - Observe only, never schedule: recording appends to an in-memory
+ *    vector; the tracer holds no Simulator reference and cannot create
+ *    events, so enabling tracing cannot perturb event ordering.
+ *
+ * Export is Chrome trace_event JSON ("X" complete events + "C" counter
+ * samples + "M" metadata), loadable in chrome://tracing or Perfetto.
+ */
+
+#ifndef DRAID_TELEMETRY_TRACE_H
+#define DRAID_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace draid::telemetry {
+
+/** One timed span on one node's lane. */
+struct TraceSpan
+{
+    std::uint64_t traceId = 0; ///< 0 = not tied to a user op
+    sim::NodeId node = 0;      ///< Chrome pid
+    const char *lane = "";     ///< Chrome tid name: "op", "nic.tx", "ssd"...
+    std::string name;          ///< e.g. "draid.write", "ssd.read"
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    /** Small key/value payload shown in the trace viewer. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** One sample of a counter timeline (utilization plots). */
+struct CounterSample
+{
+    sim::NodeId node = 0;
+    std::string name; ///< e.g. "nic.tx.util"
+    sim::Tick tick = 0;
+    double value = 0.0;
+};
+
+/** Span sink + trace-id mint. */
+class Tracer
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Next per-op trace id; 0 while disabled. Ids start at 1. */
+    std::uint64_t
+    mint()
+    {
+        return enabled_ ? nextId_++ : 0;
+    }
+
+    /** Append one span. No-op while disabled or past the span cap. */
+    void recordSpan(TraceSpan span);
+
+    /** Append one counter sample (utilization timelines). */
+    void recordCounter(sim::NodeId node, std::string name, sim::Tick tick,
+                       double value);
+
+    /** Human name for a node ("host0", "node3"), used as process_name. */
+    void setNodeName(sim::NodeId node, std::string name);
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    const std::vector<CounterSample> &counterSamples() const
+    {
+        return counters_;
+    }
+    std::uint64_t droppedSpans() const { return dropped_; }
+
+    /**
+     * Bound on retained spans; further spans are counted but dropped so a
+     * long bench with tracing on cannot exhaust memory.
+     */
+    void setSpanCap(std::size_t cap) { spanCap_ = cap; }
+
+    /** Emit the whole trace as Chrome trace_event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+    std::string toChromeTraceJson() const;
+
+    void clear();
+
+  private:
+    bool enabled_ = false;
+    std::uint64_t nextId_ = 1;
+    std::size_t spanCap_ = 4'000'000;
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceSpan> spans_;
+    std::vector<CounterSample> counters_;
+    std::map<sim::NodeId, std::string> nodeNames_;
+};
+
+} // namespace draid::telemetry
+
+#endif // DRAID_TELEMETRY_TRACE_H

@@ -120,6 +120,36 @@ TEST(LatencyRecorder, PercentileNearestRank)
     EXPECT_EQ(rec.percentile(1), 1);
 }
 
+TEST(LatencyRecorder, PercentileExtremesAreExactMinMax)
+{
+    LatencyRecorder rec;
+    for (Tick t : {17, 3, 99, 42})
+        rec.record(t);
+    // Nearest-rank rounding must not shift the endpoints.
+    EXPECT_EQ(rec.percentile(0), 3);
+    EXPECT_EQ(rec.percentile(100), 99);
+}
+
+TEST(LatencyRecorder, StddevOfKnownDistribution)
+{
+    LatencyRecorder rec;
+    // The classic population example: mean 5, stddev exactly 2.
+    for (Tick t : {2, 4, 4, 4, 5, 5, 7, 9})
+        rec.record(t);
+    EXPECT_DOUBLE_EQ(rec.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rec.stddev(), 2.0);
+}
+
+TEST(LatencyRecorder, StddevDegenerateCases)
+{
+    LatencyRecorder rec;
+    EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // empty
+    rec.record(42);
+    EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // single sample
+    rec.record(42);
+    EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // identical samples
+}
+
 TEST(ThroughputMeter, ComputesBandwidthAndIops)
 {
     ThroughputMeter m;
