@@ -1,7 +1,12 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <fstream>
+
+#include "telemetry/critical_path.h"
+#include "telemetry/flight_recorder.h"
 
 namespace draid::bench {
 
@@ -10,8 +15,20 @@ namespace {
 /** Process-wide telemetry flags; set once by initTelemetry(). */
 TelemetryOptions g_telemetry;
 
+/** Figure label from the last printFigureHeader, for bench-JSON rows. */
+std::string g_currentFigure;
+
+/** First bench-JSON row truncates the file; later rows append. */
+bool g_benchJsonStarted = false;
+
 /** Busy-fraction sampling period when telemetry is requested. */
 constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
+
+const char *
+levelName(raid::RaidLevel level)
+{
+    return level == raid::RaidLevel::kRaid6 ? "raid6" : "raid5";
+}
 
 } // namespace
 
@@ -25,6 +42,18 @@ parseTelemetryOptions(int argc, char **argv)
             opts.metricsJsonPath = arg.substr(15);
         else if (arg.rfind("--trace=", 0) == 0)
             opts.tracePath = arg.substr(8);
+        else if (arg.rfind("--bench-json=", 0) == 0)
+            opts.benchJsonPath = arg.substr(13);
+        else if (arg == "--breakdown")
+            opts.breakdown = true;
+        else if (arg == "--no-flight-recorder")
+            opts.flightRecorder = false;
+        else if (arg.rfind("--", 0) == 0)
+            std::fprintf(stderr,
+                         "warning: unknown flag %s (known: "
+                         "--metrics-json= --trace= --bench-json= "
+                         "--breakdown --no-flight-recorder)\n",
+                         arg.c_str());
     }
     return opts;
 }
@@ -33,6 +62,12 @@ void
 initTelemetry(int argc, char **argv)
 {
     g_telemetry = parseTelemetryOptions(argc, argv);
+    // A bench abort should always leave a readable post-mortem; when a
+    // trace path was given, also drop a Chrome trace of the final ring.
+    telemetry::FlightRecorder::installCrashHandlers();
+    if (!g_telemetry.tracePath.empty())
+        telemetry::FlightRecorder::setCrashTracePath(
+            g_telemetry.tracePath + ".postmortem.json");
 }
 
 const char *
@@ -47,7 +82,7 @@ name(SystemKind kind)
 }
 
 SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
-    : kind_(kind)
+    : kind_(kind), array_(array)
 {
     // 2 GB per drive keeps memory bounded while giving enough stripes.
     cfg_.ssd.capacity = 2ull << 30;
@@ -77,10 +112,19 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
         break;
     }
 
-    if (!g_telemetry.tracePath.empty())
+    // The analyzer consumes the retained span stream, so tracing must be
+    // on whenever a breakdown or bench-JSON row was requested.
+    if (!g_telemetry.tracePath.empty() || g_telemetry.analyzer())
         cluster_->tracer().setEnabled(true);
     if (g_telemetry.any())
         cluster_->startUtilizationSampling(kUtilSampleInterval);
+
+    // A bench op timeout is always a bug: dump the ring right away.
+    telemetry::FlightRecorder &fr =
+        cluster_->telemetry().flightRecorder();
+    fr.setDumpOnAbnormal(true);
+    if (!g_telemetry.flightRecorder)
+        fr.setEnabled(false);
 }
 
 SystemUnderTest::~SystemUnderTest()
@@ -138,6 +182,110 @@ SystemUnderTest::reconstructChunk(std::uint64_t stripe, std::uint32_t spare,
     }
 }
 
+namespace {
+
+/** Human breakdown table, on stderr (figure stdout stays diffable). */
+void
+printBreakdownTable(SystemUnderTest &sut, const workload::FioConfig &fio,
+                    const workload::FioResult &result,
+                    const telemetry::CriticalPathReport &report)
+{
+    std::fprintf(stderr,
+                 "\n## critical path: %s %s (%s c%uk w%u io%u rd%.2f "
+                 "qd%d, %zu ops, %.1f MB/s)\n",
+                 g_currentFigure.empty() ? "bench" : g_currentFigure.c_str(),
+                 name(sut.kind()), levelName(sut.array().level),
+                 sut.array().chunkKb, sut.array().width, fio.ioSize,
+                 fio.readRatio, fio.ioDepth, report.ops.size(),
+                 result.bandwidthMBps);
+    std::fprintf(stderr, "## %-8s %10s %10s %10s %8s\n", "phase",
+                 "mean(us)", "p50(us)", "p99(us)", "share");
+    for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+        const telemetry::PhaseSummary &ps = report.phases[p];
+        if (ps.totalTicks == 0)
+            continue;
+        std::fprintf(stderr, "## %-8s %10.2f %10.2f %10.2f %7.1f%%\n",
+                     telemetry::phaseName(static_cast<telemetry::Phase>(p)),
+                     ps.meanUs, ps.p50Us, ps.p99Us, ps.share * 100.0);
+    }
+    if (report.hasVerdict()) {
+        const telemetry::ResourceBusy &b = report.bottleneck();
+        std::fprintf(stderr,
+                     "## bottleneck: %s %s, busy %.1f%% of the run window\n",
+                     sut.cluster().nodeName(b.node).c_str(),
+                     b.lane.c_str(), b.busyFraction * 100.0);
+    }
+    std::fflush(stderr);
+}
+
+/** One JSONL row per measured job. */
+void
+appendBenchJsonRow(SystemUnderTest &sut, const workload::FioConfig &fio,
+                   const workload::FioResult &result,
+                   const telemetry::CriticalPathReport &report)
+{
+    std::ofstream os(g_telemetry.benchJsonPath,
+                     g_benchJsonStarted ? std::ios::app : std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "warning: could not write bench JSON to %s\n",
+                     g_telemetry.benchJsonPath.c_str());
+        return;
+    }
+    g_benchJsonStarted = true;
+
+    char buf[512];
+    os << "{\"figure\":\""
+       << (g_currentFigure.empty() ? "bench" : g_currentFigure)
+       << "\",\"system\":\"" << name(sut.kind()) << "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"config\":{\"level\":\"%s\",\"chunk_kb\":%u,"
+                  "\"width\":%u,\"spares\":%u,\"io_size\":%u,"
+                  "\"read_ratio\":%.4f,\"io_depth\":%d,\"num_ops\":%llu,"
+                  "\"sequential\":%s}",
+                  levelName(sut.array().level), sut.array().chunkKb,
+                  sut.array().width, sut.array().spares, fio.ioSize,
+                  fio.readRatio, fio.ioDepth,
+                  static_cast<unsigned long long>(fio.numOps),
+                  fio.sequential ? "true" : "false");
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"bandwidth_MBps\":%.3f,\"kiops\":%.3f,\"errors\":%llu"
+                  ",\"lat_us\":{\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f,"
+                  "\"p999\":%.3f}",
+                  result.bandwidthMBps, result.kiops,
+                  static_cast<unsigned long long>(result.errors),
+                  result.avgLatencyUs, result.p50LatencyUs,
+                  result.p99LatencyUs, result.p999LatencyUs);
+    os << buf;
+    os << ",\"phases\":{";
+    bool first = true;
+    for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+        const telemetry::PhaseSummary &ps = report.phases[p];
+        if (!first)
+            os << ",";
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"mean_us\":%.3f,\"p50_us\":%.3f,"
+                      "\"p99_us\":%.3f,\"share\":%.4f}",
+                      telemetry::phaseName(static_cast<telemetry::Phase>(p)),
+                      ps.meanUs, ps.p50Us, ps.p99Us, ps.share);
+        os << buf;
+    }
+    os << "}";
+    if (report.hasVerdict()) {
+        const telemetry::ResourceBusy &b = report.bottleneck();
+        std::snprintf(buf, sizeof(buf),
+                      ",\"bottleneck\":{\"node\":\"%s\",\"lane\":\"%s\","
+                      "\"busy\":%.4f}",
+                      sut.cluster().nodeName(b.node).c_str(),
+                      b.lane.c_str(), b.busyFraction);
+        os << buf;
+    }
+    os << "}\n";
+}
+
+} // namespace
+
 workload::FioResult
 runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
 {
@@ -183,8 +331,29 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
         }
     }
 
+    // Only spans recorded by the measured job feed the analyzer; the
+    // preload's full-stripe writes would otherwise skew the breakdown.
+    const std::size_t span_base =
+        sut.cluster().tracer().spans().size();
+
     workload::FioJob job(sim, dev, fio);
-    return job.run();
+    workload::FioResult result = job.run();
+
+    // Preload-only calls (numOps <= 1) measure nothing worth reporting.
+    if (g_telemetry.analyzer() && fio.numOps > 1) {
+        const auto &all = sut.cluster().tracer().spans();
+        const std::vector<telemetry::TraceSpan> measured(
+            all.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(span_base, all.size())),
+            all.end());
+        const telemetry::CriticalPathReport report =
+            telemetry::analyzeCriticalPath(measured);
+        if (g_telemetry.breakdown)
+            printBreakdownTable(sut, fio, result, report);
+        if (!g_telemetry.benchJsonPath.empty())
+            appendBenchJsonRow(sut, fio, result, report);
+    }
+    return result;
 }
 
 workload::FioConfig
@@ -203,6 +372,7 @@ void
 printFigureHeader(const std::string &figure, const std::string &title,
                   const std::vector<std::string> &columns)
 {
+    g_currentFigure = figure;
     std::printf("\n# %s: %s\n", figure.c_str(), title.c_str());
     std::printf("#");
     for (const auto &c : columns)

@@ -46,16 +46,36 @@ struct ArrayConfig
  * Telemetry flags shared by every bench binary:
  *   --metrics-json=<path>  save a metrics + utilization snapshot
  *   --trace=<path>         enable per-op tracing, save a Chrome trace
- * Unrecognized arguments are ignored.
+ *   --breakdown            print a critical-path latency breakdown table
+ *                          (phase | mean | p50 | p99 | share) plus the
+ *                          bottleneck verdict after every measured job.
+ *                          Goes to stderr so figure stdout stays diffable.
+ *   --bench-json=<path>    append one JSON row per measured job (system,
+ *                          config, MB/s, mean/p50/p99/p99.9 us latency,
+ *                          per-phase breakdown, bottleneck verdict)
+ *   --no-flight-recorder   disable the always-on flight recorder (used by
+ *                          the determinism check: enabled vs dark runs
+ *                          must produce byte-identical figure output)
+ * Unrecognized --flags draw a warning on stderr.
  */
 struct TelemetryOptions
 {
     std::string metricsJsonPath;
     std::string tracePath;
+    std::string benchJsonPath;
+    bool breakdown = false;
+    bool flightRecorder = true;
 
     bool any() const
     {
-        return !metricsJsonPath.empty() || !tracePath.empty();
+        return !metricsJsonPath.empty() || !tracePath.empty() ||
+               analyzer();
+    }
+
+    /** Whether the critical-path analyzer must see the span stream. */
+    bool analyzer() const
+    {
+        return breakdown || !benchJsonPath.empty();
     }
 };
 
@@ -80,6 +100,7 @@ class SystemUnderTest
     cluster::Cluster &cluster() { return *cluster_; }
     sim::Simulator &sim() { return cluster_->sim(); }
     SystemKind kind() const { return kind_; }
+    const ArrayConfig &array() const { return array_; }
 
     /** Declare a member device failed on the system's controller. */
     void markFailed(std::uint32_t dev);
@@ -92,6 +113,7 @@ class SystemUnderTest
 
   private:
     SystemKind kind_;
+    ArrayConfig array_;
     cluster::TestbedConfig cfg_;
     std::unique_ptr<cluster::Cluster> cluster_;
     std::unique_ptr<core::DraidSystem> draid_;

@@ -63,7 +63,7 @@ HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
         lat_us->observe(static_cast<double>(end - start) /
                         sim::kMicrosecond);
     telemetry::Tracer &tracer = cluster_.tracer();
-    if (trace == 0 || !tracer.enabled())
+    if (trace == 0 || !tracer.active())
         return;
     telemetry::TraceSpan span;
     span.traceId = trace;

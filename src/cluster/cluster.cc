@@ -8,6 +8,7 @@ Cluster::Cluster(const TestbedConfig &config, std::uint32_t num_targets,
                  std::vector<double> target_goodputs)
     : config_(config), sim_(), fabric_(sim_, config.propagation)
 {
+    fabric_.bindTrace(&telemetry_.tracer());
     host_ = std::make_unique<Node>(sim_, hostId(), config.nicGoodput100g,
                                    config.nicPerMessage, std::nullopt);
     fabric_.attach(hostId(), host_->nic(), nullptr);

@@ -97,7 +97,7 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
         lat_us->observe(static_cast<double>(end - start) /
                         sim::kMicrosecond);
     telemetry::Tracer &tracer = cluster_.tracer();
-    if (trace == 0 || !tracer.enabled())
+    if (trace == 0 || !tracer.active())
         return;
     telemetry::TraceSpan span;
     span.traceId = trace;
@@ -107,6 +107,27 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
     span.start = start;
     span.end = end;
     span.args.emplace_back("bytes", std::to_string(bytes));
+    tracer.recordSpan(std::move(span));
+}
+
+void
+DraidHost::recordLockWait(std::uint64_t trace, std::uint64_t stripe,
+                          sim::Tick since)
+{
+    const sim::Tick now = cluster_.sim().now();
+    if (trace == 0 || now <= since)
+        return;
+    telemetry::Tracer &tracer = cluster_.tracer();
+    if (!tracer.active())
+        return;
+    telemetry::TraceSpan span;
+    span.traceId = trace;
+    span.node = cluster_.hostId();
+    span.lane = "lock";
+    span.name = "lock.stripe";
+    span.start = since;
+    span.end = now;
+    span.args.emplace_back("stripe", std::to_string(stripe));
     tracer.recordSpan(std::move(span));
 }
 
@@ -168,6 +189,8 @@ DraidHost::expireOp(std::uint64_t op)
     auto it = pending_.find(op);
     if (it == pending_.end())
         return;
+    cluster_.telemetry().flightRecorder().noteAbnormal(
+        "op.timeout", op, cluster_.hostId(), cluster_.sim().now());
     lastExpiredSubs_ = it->second.waitingSubs;
     auto done = std::move(it->second.onDone);
     pending_.erase(it);
@@ -310,8 +333,11 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
                 wrapped(*all_ok ? blockdev::IoStatus::kOk
                                 : blockdev::IoStatus::kError);
         };
-        writeLocks_.acquire(stripe,
-                            [this, sw]() { executeStripeWrite(sw); });
+        const sim::Tick lock_req = cluster_.sim().now();
+        writeLocks_.acquire(stripe, [this, sw, stripe, lock_req]() {
+            recordLockWait(sw->traceId, stripe, lock_req);
+            executeStripeWrite(sw);
+        });
     }
 }
 

@@ -274,6 +274,15 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
     void finishOpSpan(std::uint64_t trace, const char *name, sim::Tick start,
                       std::uint64_t bytes, telemetry::Histogram *lat_us);
 
+    /**
+     * Record the stripe-lock wait window [since, now) as a "lock" lane
+     * span, so the critical-path analyzer can attribute serialization
+     * behind another writer separately from queueing. No-op when the wait
+     * was zero ticks (the uncontended fast path stays span-free).
+     */
+    void recordLockWait(std::uint64_t trace, std::uint64_t stripe,
+                        sim::Tick since);
+
     telemetry::Histogram *readLatencyUs_ = nullptr;
     telemetry::Histogram *writeLatencyUs_ = nullptr;
 };

@@ -57,11 +57,11 @@ RebuildJob::pump()
     while (inFlight_ < window_ && next_ < numStripes_) {
         const std::uint64_t stripe = next_++;
         ++inFlight_;
-        const bool traced = tracer_ && tracer_->enabled();
+        const bool traced = tracer_ && tracer_->active();
         const std::uint64_t trace = traced ? tracer_->mint() : 0;
         const sim::Tick issued = sim_.now();
         fn_(stripe, [this, stripe, trace, issued](bool ok) {
-            if (trace != 0 && tracer_ && tracer_->enabled()) {
+            if (trace != 0 && tracer_ && tracer_->active()) {
                 telemetry::TraceSpan span;
                 span.traceId = trace;
                 span.node = traceNode_;

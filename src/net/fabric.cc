@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace draid::net {
 
 Fabric::Fabric(sim::Simulator &sim, sim::Tick propagation)
@@ -48,9 +50,21 @@ Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
     // Both port directions are charged the full transfer; completion waits
     // for the later of the two (cut-through forwarding).
     auto remaining = std::make_shared<int>(2);
-    auto joint = [this, remaining, delay, done = std::move(done)]() mutable {
-        if (--*remaining == 0)
-            sim_.schedule(delay, std::move(done));
+    auto joint = [this, remaining, delay, src, trace,
+                  done = std::move(done)]() mutable {
+        if (--*remaining != 0)
+            return;
+        if (trace != 0 && tracer_ && tracer_->active()) {
+            telemetry::TraceSpan span;
+            span.traceId = trace;
+            span.node = src;
+            span.lane = "fabric";
+            span.name = "fabric.prop";
+            span.start = sim_.now();
+            span.end = sim_.now() + delay;
+            tracer_->recordSpan(std::move(span));
+        }
+        sim_.schedule(delay, std::move(done));
     };
     sp.nic->tx().transfer(bytes, trace, joint);
     dp.nic->rx().transfer(bytes, trace, joint);
@@ -122,6 +136,12 @@ void
 Fabric::setExtraDelay(sim::NodeId node, sim::Tick delay)
 {
     ports_.at(node).extraDelay = delay;
+}
+
+void
+Fabric::bindTrace(telemetry::Tracer *tracer)
+{
+    tracer_ = tracer;
 }
 
 Nic &

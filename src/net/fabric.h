@@ -30,6 +30,10 @@
 #include "sim/simulator.h"
 #include "sim/types.h"
 
+namespace draid::telemetry {
+class Tracer;
+}
+
 namespace draid::net {
 
 /** A capsule in flight, with an optional zero-copy payload handle. */
@@ -104,6 +108,15 @@ class Fabric
     /** Add fixed extra delivery delay for traffic touching @p node. */
     void setExtraDelay(sim::NodeId node, sim::Tick delay);
 
+    /**
+     * Attach a span sink: traced transfers record their propagation window
+     * (the wire+switch delay after the last byte leaves the ports) as a
+     * "fabric" lane span on the source node, so the critical-path analyzer
+     * can attribute fabric time separately from NIC serialization.
+     * Observe-only, like every other trace binding.
+     */
+    void bindTrace(telemetry::Tracer *tracer);
+
     Nic &nicOf(sim::NodeId node);
 
     /** Total messages delivered (tests). */
@@ -130,6 +143,7 @@ class Fabric
 
     sim::Simulator &sim_;
     sim::Tick propagation_;
+    telemetry::Tracer *tracer_ = nullptr;
     std::unordered_map<sim::NodeId, Port> ports_;
     std::unordered_set<sim::NodeId> down_;
     std::uint64_t delivered_ = 0;

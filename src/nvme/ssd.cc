@@ -50,7 +50,7 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
             cb(blockdev::IoStatus::kOk, store_.readSync(offset, length));
         });
     });
-    if (trace != 0 && tracer_ && tracer_->enabled()) {
+    if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
         span.node = traceNode_;
@@ -87,7 +87,7 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
             cb(blockdev::IoStatus::kOk);
         });
     });
-    if (trace != 0 && tracer_ && tracer_->enabled()) {
+    if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
         span.node = traceNode_;

@@ -26,7 +26,7 @@ CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
     busyTime_ += cost;
     statsBusy_ += cost;
 
-    if (trace != 0 && tracer_ && tracer_->enabled()) {
+    if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
         span.node = traceNode_;

@@ -44,7 +44,7 @@ Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
     bytes_ += bytes;
     ++ops_;
 
-    if (trace != 0 && tracer_ && tracer_->enabled()) {
+    if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
         span.node = traceNode_;

@@ -69,8 +69,11 @@ LatencyRecorder::percentile(double p) const
     if (p >= 100.0)
         return samples_.back();
     const auto n = samples_.size();
-    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 *
-                                                   static_cast<double>(n)));
+    // The epsilon absorbs floating-point noise in p/100*n (e.g. 0.999*1000
+    // = 999.0000000000001) that would otherwise bump the rank past an
+    // exactly-representable boundary.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n) - 1e-9));
     if (rank > 0)
         --rank;
     rank = std::min(rank, n - 1);

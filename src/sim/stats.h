@@ -44,6 +44,9 @@ class LatencyRecorder
     /** Mean in microseconds, the unit the paper plots. */
     double meanMicros() const { return mean() / kMicrosecond; }
 
+    /** Tail latency: the 99.9th percentile (nearest-rank). */
+    Tick p999() const { return percentile(99.9); }
+
     void clear();
 
   private:

@@ -84,12 +84,21 @@ class UtilizationSampler
 class Telemetry
 {
   public:
+    /**
+     * The flight recorder ships enabled: its ring write is cheap enough
+     * to be always-on, and an abnormal event (abort, op timeout, failed
+     * assertion) can then always produce a post-mortem.
+     */
+    Telemetry() { tracer_.bindFlightRecorder(&recorder_); }
+
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
     UtilizationSampler &sampler() { return sampler_; }
     const UtilizationSampler &sampler() const { return sampler_; }
+    FlightRecorder &flightRecorder() { return recorder_; }
+    const FlightRecorder &flightRecorder() const { return recorder_; }
 
     /** Root scope; components derive their own via scope("node3") etc. */
     MetricScope root() { return MetricScope(metrics_, ""); }
@@ -110,6 +119,7 @@ class Telemetry
     MetricsRegistry metrics_;
     Tracer tracer_;
     UtilizationSampler sampler_;
+    FlightRecorder recorder_;
 };
 
 } // namespace draid::telemetry

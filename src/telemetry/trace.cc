@@ -10,6 +10,8 @@ namespace draid::telemetry {
 void
 Tracer::recordSpan(TraceSpan span)
 {
+    if (recorder_)
+        recorder_->record(span);
     if (!enabled_)
         return;
     if (spans_.size() >= spanCap_) {

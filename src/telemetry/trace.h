@@ -9,9 +9,9 @@
  * records a timed span against the deterministic sim clock.
  *
  * Design rules, enforced by construction:
- *  - Zero overhead when off: mint() returns 0 while disabled, and every
- *    recording call is gated on a nonzero id, so the disabled path costs
- *    one predictable branch.
+ *  - Zero overhead when off: mint() returns 0 while neither export tracing
+ *    nor the flight recorder is active, and every recording call is gated
+ *    on a nonzero id, so the fully-dark path costs one predictable branch.
  *  - Observe only, never schedule: recording appends to an in-memory
  *    vector; the tracer holds no Simulator reference and cannot create
  *    events, so enabling tracing cannot perturb event ordering.
@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "sim/types.h"
+#include "telemetry/flight_recorder.h"
 
 namespace draid::telemetry {
 
@@ -63,15 +64,37 @@ class Tracer
     bool enabled() const { return enabled_; }
     void setEnabled(bool on) { enabled_ = on; }
 
-    /** Next per-op trace id; 0 while disabled. Ids start at 1. */
+    /**
+     * Whether recording sites should build spans: export tracing is on OR
+     * an attached flight recorder wants the stream. This is the gate every
+     * recording site checks; enabled() gates retention/export only.
+     */
+    bool
+    active() const
+    {
+        return enabled_ || (recorder_ && recorder_->enabled());
+    }
+
+    /** Next per-op trace id; 0 while inactive. Ids start at 1. */
     std::uint64_t
     mint()
     {
-        return enabled_ ? nextId_++ : 0;
+        return active() ? nextId_++ : 0;
     }
 
-    /** Append one span. No-op while disabled or past the span cap. */
+    /**
+     * Append one span. Always mirrored into the attached flight recorder's
+     * ring; retained for export only while enabled() and under the span
+     * cap.
+     */
     void recordSpan(TraceSpan span);
+
+    /** Attach a flight recorder that shadows every recorded span. */
+    void bindFlightRecorder(FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+    FlightRecorder *flightRecorder() const { return recorder_; }
 
     /** Append one counter sample (utilization timelines). */
     void recordCounter(sim::NodeId node, std::string name, sim::Tick tick,
@@ -101,6 +124,7 @@ class Tracer
 
   private:
     bool enabled_ = false;
+    FlightRecorder *recorder_ = nullptr;
     std::uint64_t nextId_ = 1;
     std::size_t spanCap_ = 4'000'000;
     std::uint64_t dropped_ = 0;

@@ -49,6 +49,8 @@ FioJob::run()
         static_cast<double>(latency_.percentile(50)) / sim::kMicrosecond;
     r.p99LatencyUs =
         static_cast<double>(latency_.percentile(99)) / sim::kMicrosecond;
+    r.p999LatencyUs =
+        static_cast<double>(latency_.p999()) / sim::kMicrosecond;
     r.errors = errors_;
     return r;
 }

@@ -45,6 +45,7 @@ struct FioResult
     double avgLatencyUs = 0.0;
     double p50LatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
     double kiops = 0.0;
     std::uint64_t errors = 0;
 };

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Test runner: gtest's default main plus a listener that dumps every live
+ * flight recorder when an assertion fires, so a failing integration test
+ * comes with a post-mortem of the last simulated events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "telemetry/flight_recorder.h"
+
+namespace {
+
+/** On the first failed assertion of a test, dump the flight recorders. */
+class FlightRecorderDumper : public ::testing::EmptyTestEventListener
+{
+    void
+    OnTestPartResult(const ::testing::TestPartResult &result) override
+    {
+        if (!result.failed() || dumped_)
+            return;
+        dumped_ = true;
+        std::cerr << "\n=== FLIGHT RECORDER post-mortem "
+                     "(test assertion failed) ===\n";
+        draid::telemetry::FlightRecorder::dumpAll(std::cerr);
+        std::cerr.flush();
+    }
+
+    void
+    OnTestStart(const ::testing::TestInfo &) override
+    {
+        dumped_ = false;
+    }
+
+    bool dumped_ = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new FlightRecorderDumper); // gtest takes ownership
+    draid::telemetry::FlightRecorder::installCrashHandlers();
+    return RUN_ALL_TESTS();
+}

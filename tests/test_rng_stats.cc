@@ -130,6 +130,22 @@ TEST(LatencyRecorder, PercentileExtremesAreExactMinMax)
     EXPECT_EQ(rec.percentile(100), 99);
 }
 
+TEST(LatencyRecorder, P999TailPercentile)
+{
+    LatencyRecorder rec;
+    for (Tick t = 1; t <= 1000; ++t)
+        rec.record(t);
+    // Nearest rank: ceil(0.999 * 1000) = 999 -> the 999th sample.
+    EXPECT_EQ(rec.p999(), 999);
+    EXPECT_EQ(rec.p999(), rec.percentile(99.9));
+    // With few samples the tail collapses onto the max.
+    LatencyRecorder small;
+    for (Tick t : {10, 20, 30})
+        small.record(t);
+    EXPECT_EQ(small.p999(), 30);
+    EXPECT_EQ(LatencyRecorder{}.p999(), 0);
+}
+
 TEST(LatencyRecorder, StddevOfKnownDistribution)
 {
     LatencyRecorder rec;
