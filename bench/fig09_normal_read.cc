@@ -4,7 +4,12 @@
 int
 main(int argc, char **argv)
 {
-    draid::bench::initTelemetry(argc, argv);
+    // Default artifacts: a bench-JSON perf row per job plus the windowed
+    // timeline. --bench-json= / --timeline= override the paths.
+    draid::bench::TelemetryOptions defaults;
+    defaults.benchJsonPath = "BENCH_fig09.json";
+    defaults.timelinePath = "TIMELINE_fig09.json";
+    draid::bench::initTelemetry(argc, argv, defaults);
     draid::bench::figReadVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 9");
     return 0;
 }

@@ -4,7 +4,14 @@
 int
 main(int argc, char **argv)
 {
-    draid::bench::initTelemetry(argc, argv);
-    draid::bench::figReconstructionScalability("Figure 17a"); draid::bench::figBwAwareReconstruction("Figure 17b");
+    // Default artifacts: a bench-JSON perf row per job plus the windowed
+    // timeline. --bench-json= / --timeline= override the paths.
+    draid::bench::TelemetryOptions defaults;
+    defaults.benchJsonPath = "BENCH_fig17.json";
+    defaults.timelinePath = "TIMELINE_fig17.json";
+    draid::bench::initTelemetry(argc, argv, defaults);
+    draid::bench::figReconstructionScalability("Figure 17a");
+    draid::bench::figBwAwareReconstruction("Figure 17b");
+    draid::bench::figRebuildInterference("Figure 17c");
     return 0;
 }

@@ -52,6 +52,15 @@ void figReconstructionScalability(const std::string &figure);
 /** Fig. 17b: random vs bandwidth-aware reducer on heterogeneous NICs. */
 void figBwAwareReconstruction(const std::string &figure);
 
+/**
+ * Fig. 17c (companion scenario): foreground random reads with a mid-run
+ * drive failure, online rebuild onto a hot spare, and the swap back to
+ * normal state. The interesting output is the timeline: run with
+ * --timeline-ascii to see the goodput dip bracketed by the
+ * RebuildStarted/RebuildCompleted markers.
+ */
+void figRebuildInterference(const std::string &figure);
+
 } // namespace draid::bench
 
 #endif // DRAID_BENCH_FIGURES_H

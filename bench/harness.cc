@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "telemetry/critical_path.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/timeline.h"
 
 namespace draid::bench {
 
@@ -21,6 +23,9 @@ std::string g_currentFigure;
 /** First bench-JSON row truncates the file; later rows append. */
 bool g_benchJsonStarted = false;
 
+/** Same truncate-then-append pattern for the timeline file. */
+bool g_timelineStarted = false;
+
 /** Busy-fraction sampling period when telemetry is requested. */
 constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
 
@@ -33,9 +38,9 @@ levelName(raid::RaidLevel level)
 } // namespace
 
 TelemetryOptions
-parseTelemetryOptions(int argc, char **argv)
+parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
 {
-    TelemetryOptions opts;
+    TelemetryOptions opts = defaults;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--metrics-json=", 0) == 0)
@@ -44,6 +49,10 @@ parseTelemetryOptions(int argc, char **argv)
             opts.tracePath = arg.substr(8);
         else if (arg.rfind("--bench-json=", 0) == 0)
             opts.benchJsonPath = arg.substr(13);
+        else if (arg.rfind("--timeline=", 0) == 0)
+            opts.timelinePath = arg.substr(11);
+        else if (arg == "--timeline-ascii")
+            opts.timelineAscii = true;
         else if (arg == "--breakdown")
             opts.breakdown = true;
         else if (arg == "--no-flight-recorder")
@@ -52,6 +61,7 @@ parseTelemetryOptions(int argc, char **argv)
             std::fprintf(stderr,
                          "warning: unknown flag %s (known: "
                          "--metrics-json= --trace= --bench-json= "
+                         "--timeline= --timeline-ascii "
                          "--breakdown --no-flight-recorder)\n",
                          arg.c_str());
     }
@@ -61,7 +71,13 @@ parseTelemetryOptions(int argc, char **argv)
 void
 initTelemetry(int argc, char **argv)
 {
-    g_telemetry = parseTelemetryOptions(argc, argv);
+    initTelemetry(argc, argv, TelemetryOptions{});
+}
+
+void
+initTelemetry(int argc, char **argv, const TelemetryOptions &defaults)
+{
+    g_telemetry = parseTelemetryOptions(argc, argv, defaults);
     // A bench abort should always leave a readable post-mortem; when a
     // trace path was given, also drop a Chrome trace of the final ring.
     telemetry::FlightRecorder::installCrashHandlers();
@@ -112,9 +128,10 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
         break;
     }
 
-    // The analyzer consumes the retained span stream, so tracing must be
-    // on whenever a breakdown or bench-JSON row was requested.
-    if (!g_telemetry.tracePath.empty() || g_telemetry.analyzer())
+    // The analyzer and the timeline both consume the retained span
+    // stream, so tracing must be on whenever either was requested.
+    if (!g_telemetry.tracePath.empty() || g_telemetry.analyzer() ||
+        g_telemetry.timeline())
         cluster_->tracer().setEnabled(true);
     if (g_telemetry.any())
         cluster_->startUtilizationSampling(kUtilSampleInterval);
@@ -284,6 +301,42 @@ appendBenchJsonRow(SystemUnderTest &sut, const workload::FioConfig &fio,
     os << "}\n";
 }
 
+/** "fig09 dRAID (raid5 c512k w8 io131072 rd1.00 qd32)" */
+std::string
+jobLabel(SystemUnderTest &sut, const workload::FioConfig &fio)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s %s (%s c%uk w%u io%u rd%.2f qd%d)",
+                  g_currentFigure.empty() ? "bench"
+                                          : g_currentFigure.c_str(),
+                  name(sut.kind()), levelName(sut.array().level),
+                  sut.array().chunkKb, sut.array().width, fio.ioSize,
+                  fio.readRatio, fio.ioDepth);
+    return buf;
+}
+
+/** One JSONL timeline row per measured job. */
+void
+appendTimelineRow(SystemUnderTest &sut, const workload::FioConfig &fio,
+                  const telemetry::TimelineReport &report)
+{
+    std::ofstream os(g_telemetry.timelinePath,
+                     g_timelineStarted ? std::ios::app : std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "warning: could not write timeline to %s\n",
+                     g_telemetry.timelinePath.c_str());
+        return;
+    }
+    g_timelineStarted = true;
+    os << "{\"figure\":\""
+       << (g_currentFigure.empty() ? "bench" : g_currentFigure)
+       << "\",\"system\":\"" << name(sut.kind()) << "\",\"io_size\":"
+       << fio.ioSize << ",\"read_ratio\":" << fio.readRatio
+       << ",\"timeline\":";
+    telemetry::writeTimelineJson(os, report);
+    os << "}\n";
+}
+
 } // namespace
 
 workload::FioResult
@@ -331,27 +384,51 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
         }
     }
 
-    // Only spans recorded by the measured job feed the analyzer; the
-    // preload's full-stripe writes would otherwise skew the breakdown.
+    // Only spans recorded by the measured job feed the analyzer and the
+    // timeline; the preload's full-stripe writes would otherwise skew
+    // the breakdown.
     const std::size_t span_base =
         sut.cluster().tracer().spans().size();
+    const sim::Tick job_start = sim.now();
 
     workload::FioJob job(sim, dev, fio);
     workload::FioResult result = job.run();
 
     // Preload-only calls (numOps <= 1) measure nothing worth reporting.
-    if (g_telemetry.analyzer() && fio.numOps > 1) {
+    if ((g_telemetry.analyzer() || g_telemetry.timeline()) &&
+        fio.numOps > 1) {
         const auto &all = sut.cluster().tracer().spans();
         const std::vector<telemetry::TraceSpan> measured(
             all.begin() + static_cast<std::ptrdiff_t>(
                               std::min(span_base, all.size())),
             all.end());
-        const telemetry::CriticalPathReport report =
-            telemetry::analyzeCriticalPath(measured);
-        if (g_telemetry.breakdown)
-            printBreakdownTable(sut, fio, result, report);
-        if (!g_telemetry.benchJsonPath.empty())
-            appendBenchJsonRow(sut, fio, result, report);
+        if (g_telemetry.analyzer()) {
+            const telemetry::CriticalPathReport report =
+                telemetry::analyzeCriticalPath(measured);
+            if (g_telemetry.breakdown)
+                printBreakdownTable(sut, fio, result, report);
+            if (!g_telemetry.benchJsonPath.empty())
+                appendBenchJsonRow(sut, fio, result, report);
+        }
+        if (g_telemetry.timeline()) {
+            const telemetry::Telemetry &tel = sut.cluster().telemetry();
+            const telemetry::TimelineReport report =
+                telemetry::buildTimeline(
+                    measured,
+                    tel.journal().snapshotRange(job_start, sim.now() + 1),
+                    tel.sampler().samples(), /*window_ticks=*/0,
+                    sut.cluster().hostId());
+            if (g_telemetry.timelineAscii) {
+                std::ostringstream ss;
+                ss << "\n";
+                telemetry::renderTimelineAscii(ss, report,
+                                               jobLabel(sut, fio));
+                std::fputs(ss.str().c_str(), stderr);
+                std::fflush(stderr);
+            }
+            if (!g_telemetry.timelinePath.empty())
+                appendTimelineRow(sut, fio, report);
+        }
     }
     return result;
 }

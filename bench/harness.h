@@ -53,6 +53,13 @@ struct ArrayConfig
  *   --bench-json=<path>    append one JSON row per measured job (system,
  *                          config, MB/s, mean/p50/p99/p99.9 us latency,
  *                          per-phase breakdown, bottleneck verdict)
+ *   --timeline=<path>      append one JSON timeline per measured job:
+ *                          windowed goodput/IOPS/p50/p99 series, cluster
+ *                          events from the journal, per-node utilization,
+ *                          and health flags
+ *   --timeline-ascii       render each measured job's timeline as an
+ *                          ASCII sparkline with event markers overlaid
+ *                          (stderr, so figure stdout stays diffable)
  *   --no-flight-recorder   disable the always-on flight recorder (used by
  *                          the determinism check: enabled vs dark runs
  *                          must produce byte-identical figure output)
@@ -63,13 +70,15 @@ struct TelemetryOptions
     std::string metricsJsonPath;
     std::string tracePath;
     std::string benchJsonPath;
+    std::string timelinePath;
+    bool timelineAscii = false;
     bool breakdown = false;
     bool flightRecorder = true;
 
     bool any() const
     {
         return !metricsJsonPath.empty() || !tracePath.empty() ||
-               analyzer();
+               analyzer() || timeline();
     }
 
     /** Whether the critical-path analyzer must see the span stream. */
@@ -77,9 +86,17 @@ struct TelemetryOptions
     {
         return breakdown || !benchJsonPath.empty();
     }
+
+    /** Whether a windowed timeline must be built per measured job. */
+    bool timeline() const
+    {
+        return timelineAscii || !timelinePath.empty();
+    }
 };
 
-TelemetryOptions parseTelemetryOptions(int argc, char **argv);
+/** Parse the shared flags; @p defaults seeds the pre-flag values. */
+TelemetryOptions parseTelemetryOptions(int argc, char **argv,
+                                       const TelemetryOptions &defaults = {});
 
 /**
  * Install the telemetry flags for every SystemUnderTest this process
@@ -88,6 +105,12 @@ TelemetryOptions parseTelemetryOptions(int argc, char **argv);
  * system built (for dRAID-vs-baseline figures that is dRAID).
  */
 void initTelemetry(int argc, char **argv);
+
+/**
+ * As above, but with per-binary defaults (e.g. fig09 writes
+ * BENCH_fig09.json unless --bench-json= overrides it).
+ */
+void initTelemetry(int argc, char **argv, const TelemetryOptions &defaults);
 
 /** One fully assembled system on its own cluster. */
 class SystemUnderTest

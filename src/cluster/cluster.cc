@@ -134,12 +134,16 @@ void
 Cluster::failTarget(std::uint32_t i)
 {
     fabric_.setNodeDown(targetNodeId(i), true);
+    telemetry_.journal().record(telemetry::EventType::kTargetDown,
+                                targetNodeId(i), sim_.now(), i);
 }
 
 void
 Cluster::recoverTarget(std::uint32_t i)
 {
     fabric_.setNodeDown(targetNodeId(i), false);
+    telemetry_.journal().record(telemetry::EventType::kTargetRecovered,
+                                targetNodeId(i), sim_.now(), i);
 }
 
 bool

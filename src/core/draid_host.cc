@@ -41,6 +41,11 @@ DraidHost::DraidHost(cluster::Cluster &cluster, const DraidOptions &options,
     cluster_.fabric().setEndpoint(cluster_.hostId(), this);
 
     setupTelemetry();
+    writeLocks_.bindJournal(&cluster_.telemetry().journal(),
+                            cluster_.hostId(),
+                            [this] { return cluster_.sim().now(); });
+    deadlines_.bindJournal(&cluster_.telemetry().journal(),
+                           cluster_.hostId());
 
     if (opts_.reducerPolicy == ReducerPolicy::kBwAware) {
         auto sel = std::make_unique<BwAwareReducerSelector>(
@@ -272,11 +277,19 @@ DraidHost::markFailed(std::uint32_t device)
 {
     assert(device < width_);
     failed_ = device;
+    cluster_.telemetry().journal().record(telemetry::EventType::kDriveFailed,
+                                          cluster_.hostId(),
+                                          cluster_.sim().now(), device);
 }
 
 void
 DraidHost::clearFailed()
 {
+    if (failed_) {
+        cluster_.telemetry().journal().record(
+            telemetry::EventType::kDriveRecovered, cluster_.hostId(),
+            cluster_.sim().now(), *failed_);
+    }
     failed_.reset();
 }
 
@@ -286,6 +299,10 @@ DraidHost::replaceDevice(std::uint32_t device, std::uint32_t spare_target)
     assert(device < width_);
     assert(spare_target < cluster_.numTargets());
     targetMap_[device] = spare_target;
+    cluster_.telemetry().journal().record(telemetry::EventType::kHotSpareSwap,
+                                          cluster_.hostId(),
+                                          cluster_.sim().now(), device,
+                                          spare_target);
     if (failed_ && *failed_ == device)
         clearFailed();
 }
@@ -994,6 +1011,9 @@ DraidHost::degradedStripeRead(std::uint64_t stripe,
 
     const auto participants = reconParticipants(stripe, *failed_);
     const std::uint32_t reducer = selector_->select(participants, rng_);
+    cluster_.telemetry().journal().record(
+        telemetry::EventType::kDegradedReadServed, cluster_.hostId(),
+        cluster_.sim().now(), stripe, recon_len);
     noteReconstructionLoad(recon_len);
     if (bwAware_ && reducer < reconTxAttributed_.size())
         reconTxAttributed_[reducer] += recon_len;

@@ -16,8 +16,19 @@ DeadlineTable::arm(std::uint64_t id, sim::Tick delay,
             return; // disarmed or re-armed since
         armed_.erase(it);
         ++expired_;
+        if (journal_) {
+            journal_->record(telemetry::EventType::kOpTimeout, journalNode_,
+                             sim_.now(), id);
+        }
         expire();
     });
+}
+
+void
+DeadlineTable::bindJournal(telemetry::EventJournal *journal, sim::NodeId node)
+{
+    journal_ = journal;
+    journalNode_ = node;
 }
 
 void

@@ -17,6 +17,7 @@
 
 #include "sim/simulator.h"
 #include "sim/types.h"
+#include "telemetry/event_journal.h"
 
 namespace draid::core {
 
@@ -42,6 +43,12 @@ class DeadlineTable
 
     std::uint64_t expiredCount() const { return expired_; }
 
+    /**
+     * Attach the cluster event journal: every expiry also records an
+     * OpTimeout event (a = operation id) as node @p node. Observe-only.
+     */
+    void bindJournal(telemetry::EventJournal *journal, sim::NodeId node);
+
   private:
     sim::Simulator &sim_;
     // id -> generation; a scheduled event only fires its callback when the
@@ -49,6 +56,8 @@ class DeadlineTable
     std::unordered_map<std::uint64_t, std::uint64_t> armed_;
     std::uint64_t nextGen_ = 1;
     std::uint64_t expired_ = 0;
+    telemetry::EventJournal *journal_ = nullptr;
+    sim::NodeId journalNode_ = 0;
 };
 
 } // namespace draid::core

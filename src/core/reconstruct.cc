@@ -1,5 +1,6 @@
 #include "core/reconstruct.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <utility>
@@ -25,9 +26,17 @@ RebuildJob::start(std::function<void(bool)> done)
 {
     onFinished_ = std::move(done);
     startTick_ = sim_.now();
+    if (journal_) {
+        journal_->record(telemetry::EventType::kRebuildStarted,
+                         journalNode_, sim_.now(), numStripes_, chunkBytes_);
+    }
     if (numStripes_ == 0) {
         finished_ = true;
         endTick_ = sim_.now();
+        if (journal_) {
+            journal_->record(telemetry::EventType::kRebuildCompleted,
+                             journalNode_, sim_.now(), 0, 0);
+        }
         if (onFinished_)
             onFinished_(true);
         return;
@@ -40,6 +49,14 @@ RebuildJob::bindTrace(telemetry::Tracer *tracer, sim::NodeId node)
 {
     tracer_ = tracer;
     traceNode_ = node;
+}
+
+void
+RebuildJob::bindJournal(telemetry::EventJournal *journal, sim::NodeId node)
+{
+    journal_ = journal;
+    journalNode_ = node;
+    progressStride_ = std::max<std::uint64_t>(numStripes_ / 8, 1);
 }
 
 void
@@ -88,9 +105,17 @@ RebuildJob::onStripeDone(bool ok)
     if (done_ == numStripes_) {
         finished_ = true;
         endTick_ = sim_.now();
+        if (journal_) {
+            journal_->record(telemetry::EventType::kRebuildCompleted,
+                             journalNode_, sim_.now(), done_, failures_);
+        }
         if (onFinished_)
             onFinished_(failures_ == 0);
         return;
+    }
+    if (journal_ && progressStride_ > 0 && done_ % progressStride_ == 0) {
+        journal_->record(telemetry::EventType::kRebuildProgress,
+                         journalNode_, sim_.now(), done_, numStripes_);
     }
     pump();
 }

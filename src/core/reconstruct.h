@@ -16,6 +16,7 @@
 
 #include "sim/simulator.h"
 #include "sim/types.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metrics.h"
 
 namespace draid::telemetry {
@@ -55,6 +56,13 @@ class RebuildJob
     /** Register progress probes (stripes_done, failures, in_flight). */
     void registerMetrics(telemetry::MetricScope scope);
 
+    /**
+     * Attach the cluster event journal: the job then emits
+     * RebuildStarted / RebuildProgress (roughly every eighth of the job)
+     * / RebuildCompleted records as node @p node. Observe-only.
+     */
+    void bindJournal(telemetry::EventJournal *journal, sim::NodeId node);
+
     std::uint64_t stripesDone() const { return done_; }
     std::uint64_t failures() const { return failures_; }
 
@@ -71,6 +79,9 @@ class RebuildJob
     StripeFn fn_;
     telemetry::Tracer *tracer_ = nullptr;
     sim::NodeId traceNode_ = 0;
+    telemetry::EventJournal *journal_ = nullptr;
+    sim::NodeId journalNode_ = 0;
+    std::uint64_t progressStride_ = 0;
     std::uint64_t numStripes_;
     std::uint32_t chunkBytes_;
     int window_;

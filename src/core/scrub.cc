@@ -27,6 +27,16 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
         done(ScrubResult{});
         return;
     }
+    // Journal the pass outcome: b = 0 clean / 1 inconsistent / 2 repaired.
+    done = [this, stripe, done = std::move(done)](ScrubResult r) {
+        if (r.ok) {
+            cluster_.telemetry().journal().record(
+                telemetry::EventType::kScrubPass, cluster_.hostId(),
+                cluster_.sim().now(), stripe,
+                r.repaired ? 2 : (r.consistent ? 0 : 1));
+        }
+        done(r);
+    };
     const std::uint32_t k = geom_.dataChunks();
     const std::uint32_t chunk = geom_.chunkSize();
     const std::uint64_t addr = geom_.deviceAddress(stripe, 0);

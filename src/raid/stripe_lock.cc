@@ -16,6 +16,22 @@ StripeLockTable::acquire(std::uint64_t stripe, Grant granted)
     }
     ++contended_;
     st.waiters.push_back(std::move(granted));
+    // Two or more ops queued behind the holder is a convoy forming; one
+    // waiter is routine serialization.
+    if (journal_ && st.waiters.size() >= 2) {
+        journal_->record(telemetry::EventType::kStripeLockConvoy,
+                         journalNode_, now_ ? now_() : 0, stripe,
+                         st.waiters.size());
+    }
+}
+
+void
+StripeLockTable::bindJournal(telemetry::EventJournal *journal,
+                             sim::NodeId node, std::function<sim::Tick()> now)
+{
+    journal_ = journal;
+    journalNode_ = node;
+    now_ = std::move(now);
 }
 
 void

@@ -17,6 +17,9 @@
 #include <functional>
 #include <unordered_map>
 
+#include "sim/types.h"
+#include "telemetry/event_journal.h"
+
 namespace draid::raid {
 
 /** FIFO exclusive lock table keyed by stripe index. */
@@ -48,6 +51,15 @@ class StripeLockTable
     /** Total grants that had to wait (contention counter). */
     std::uint64_t contendedAcquires() const { return contended_; }
 
+    /**
+     * Attach the cluster event journal: a StripeLockConvoy record is
+     * emitted (as node @p node) whenever a stripe accumulates two or more
+     * queued waiters behind the holder. The table holds no clock, so the
+     * owner supplies @p now. Observe-only.
+     */
+    void bindJournal(telemetry::EventJournal *journal, sim::NodeId node,
+                     std::function<sim::Tick()> now);
+
   private:
     struct LockState
     {
@@ -57,6 +69,9 @@ class StripeLockTable
 
     std::unordered_map<std::uint64_t, LockState> locks_;
     std::uint64_t contended_ = 0;
+    telemetry::EventJournal *journal_ = nullptr;
+    sim::NodeId journalNode_ = 0;
+    std::function<sim::Tick()> now_;
 };
 
 } // namespace draid::raid

@@ -1,0 +1,96 @@
+#include "telemetry/event_journal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace draid::telemetry {
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::kDriveFailed: return "DriveFailed";
+      case EventType::kDriveRecovered: return "DriveRecovered";
+      case EventType::kTargetDown: return "TargetDown";
+      case EventType::kTargetRecovered: return "TargetRecovered";
+      case EventType::kRebuildStarted: return "RebuildStarted";
+      case EventType::kRebuildProgress: return "RebuildProgress";
+      case EventType::kRebuildCompleted: return "RebuildCompleted";
+      case EventType::kScrubPass: return "ScrubPass";
+      case EventType::kDegradedReadServed: return "DegradedReadServed";
+      case EventType::kStripeLockConvoy: return "StripeLockConvoy";
+      case EventType::kHotSpareSwap: return "HotSpareSwap";
+      case EventType::kOpTimeout: return "OpTimeout";
+    }
+    return "?";
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+std::size_t
+EventJournal::size() const
+{
+    return std::min<std::uint64_t>(total_, ring_.size());
+}
+
+void
+EventJournal::record(EventType type, sim::NodeId node, sim::Tick tick,
+                     std::uint64_t a, std::uint64_t b)
+{
+    if (!enabled_)
+        return;
+    Event &e = ring_[next_];
+    e.type = type;
+    e.node = node;
+    e.tick = tick;
+    e.a = a;
+    e.b = b;
+    next_ = (next_ + 1) % ring_.size();
+    ++total_;
+}
+
+std::vector<EventJournal::Event>
+EventJournal::snapshot() const
+{
+    std::vector<Event> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    // Oldest record: the write cursor once the ring has wrapped, else 0.
+    const std::size_t first = total_ > ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+std::vector<EventJournal::Event>
+EventJournal::snapshotRange(sim::Tick from, sim::Tick to) const
+{
+    std::vector<Event> out;
+    for (const Event &e : snapshot()) {
+        if (e.tick >= from && e.tick < to)
+            out.push_back(e);
+    }
+    return out;
+}
+
+void
+EventJournal::writeJsonl(std::ostream &os) const
+{
+    for (const Event &e : snapshot()) {
+        os << "{\"tick\":" << e.tick << ",\"type\":\""
+           << eventTypeName(e.type) << "\",\"node\":" << e.node
+           << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+    }
+}
+
+void
+EventJournal::clear()
+{
+    next_ = 0;
+    total_ = 0;
+}
+
+} // namespace draid::telemetry

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -99,6 +100,8 @@ class Telemetry
     const UtilizationSampler &sampler() const { return sampler_; }
     FlightRecorder &flightRecorder() { return recorder_; }
     const FlightRecorder &flightRecorder() const { return recorder_; }
+    EventJournal &journal() { return journal_; }
+    const EventJournal &journal() const { return journal_; }
 
     /** Root scope; components derive their own via scope("node3") etc. */
     MetricScope root() { return MetricScope(metrics_, ""); }
@@ -120,6 +123,7 @@ class Telemetry
     Tracer tracer_;
     UtilizationSampler sampler_;
     FlightRecorder recorder_;
+    EventJournal journal_;
 };
 
 } // namespace draid::telemetry

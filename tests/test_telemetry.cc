@@ -19,184 +19,6 @@
 using namespace draid;
 using namespace draid::testutil;
 
-namespace {
-
-/**
- * Minimal recursive-descent JSON well-formedness checker (RFC 8259
- * grammar, no semantic interpretation). Good enough to catch the classic
- * emitter bugs: trailing commas, unescaped quotes, bare NaN/Infinity.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(std::string s) : s_(std::move(s)) {}
-
-    bool valid()
-    {
-        ws();
-        const bool ok = value();
-        ws();
-        return ok && pos_ == s_.size();
-    }
-
-  private:
-    static bool digit(char c)
-    {
-        return std::isdigit(static_cast<unsigned char>(c)) != 0;
-    }
-
-    void ws()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool eat(char c)
-    {
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool literal(const char *lit)
-    {
-        const std::size_t n = std::strlen(lit);
-        if (s_.compare(pos_, n, lit) != 0)
-            return false;
-        pos_ += n;
-        return true;
-    }
-
-    bool string()
-    {
-        if (!eat('"'))
-            return false;
-        while (pos_ < s_.size()) {
-            const char c = s_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    return false;
-                const char e = s_[pos_++];
-                if (e == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        if (pos_ >= s_.size() ||
-                            !std::isxdigit(
-                                static_cast<unsigned char>(s_[pos_++])))
-                            return false;
-                    }
-                } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
-                    return false;
-                }
-            } else if (static_cast<unsigned char>(c) < 0x20) {
-                return false; // raw control character inside a string
-            }
-        }
-        return false; // unterminated
-    }
-
-    bool number()
-    {
-        eat('-');
-        bool digits = false;
-        while (pos_ < s_.size() && digit(s_[pos_])) {
-            ++pos_;
-            digits = true;
-        }
-        if (!digits)
-            return false;
-        if (eat('.')) {
-            bool frac = false;
-            while (pos_ < s_.size() && digit(s_[pos_])) {
-                ++pos_;
-                frac = true;
-            }
-            if (!frac)
-                return false;
-        }
-        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
-            ++pos_;
-            if (!eat('+'))
-                eat('-');
-            bool exp = false;
-            while (pos_ < s_.size() && digit(s_[pos_])) {
-                ++pos_;
-                exp = true;
-            }
-            if (!exp)
-                return false;
-        }
-        return true;
-    }
-
-    bool array()
-    {
-        if (!eat('['))
-            return false;
-        ws();
-        if (eat(']'))
-            return true;
-        while (true) {
-            if (!value())
-                return false;
-            ws();
-            if (eat(']'))
-                return true;
-            if (!eat(','))
-                return false;
-            ws();
-        }
-    }
-
-    bool object()
-    {
-        if (!eat('{'))
-            return false;
-        ws();
-        if (eat('}'))
-            return true;
-        while (true) {
-            ws();
-            if (!string())
-                return false;
-            ws();
-            if (!eat(':'))
-                return false;
-            ws();
-            if (!value())
-                return false;
-            ws();
-            if (eat('}'))
-                return true;
-            if (!eat(','))
-                return false;
-        }
-    }
-
-    bool value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    std::string s_;
-    std::size_t pos_ = 0;
-};
-
-} // namespace
 
 // --- registry -----------------------------------------------------------
 
