@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -43,7 +44,9 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
     TelemetryOptions opts = defaults;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--metrics-json=", 0) == 0)
+        if (arg.rfind("--seed=", 0) == 0)
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--metrics-json=", 0) == 0)
             opts.metricsJsonPath = arg.substr(15);
         else if (arg.rfind("--trace=", 0) == 0)
             opts.tracePath = arg.substr(8);
@@ -60,7 +63,7 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
         else if (arg.rfind("--", 0) == 0)
             std::fprintf(stderr,
                          "warning: unknown flag %s (known: "
-                         "--metrics-json= --trace= --bench-json= "
+                         "--seed= --metrics-json= --trace= --bench-json= "
                          "--timeline= --timeline-ascii "
                          "--breakdown --no-flight-recorder)\n",
                          arg.c_str());
@@ -84,6 +87,12 @@ initTelemetry(int argc, char **argv, const TelemetryOptions &defaults)
     if (!g_telemetry.tracePath.empty())
         telemetry::FlightRecorder::setCrashTracePath(
             g_telemetry.tracePath + ".postmortem.json");
+}
+
+std::uint64_t
+benchSeed()
+{
+    return g_telemetry.seed;
 }
 
 const char *
@@ -391,7 +400,11 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
         sut.cluster().tracer().spans().size();
     const sim::Tick job_start = sim.now();
 
-    workload::FioJob job(sim, dev, fio);
+    // The harness owns the seed (--seed=): a job must not carry its own,
+    // so identical CLI invocations replay identical offset/ratio draws.
+    workload::FioConfig seeded = fio;
+    seeded.seed = benchSeed();
+    workload::FioJob job(sim, dev, seeded);
     workload::FioResult result = job.run();
 
     // Preload-only calls (numOps <= 1) measure nothing worth reporting.

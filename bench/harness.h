@@ -43,7 +43,13 @@ struct ArrayConfig
 };
 
 /**
- * Telemetry flags shared by every bench binary:
+ * Flags shared by every bench binary:
+ *   --seed=<n>             RNG seed for every workload the binary runs
+ *                          (FIO offset/ratio draws and the YCSB key
+ *                          streams all derive from it). Defaults to 1 so
+ *                          the same CLI invocation is reproducible by
+ *                          construction; the harness owns the seed and
+ *                          workloads never pick their own.
  *   --metrics-json=<path>  save a metrics + utilization snapshot
  *   --trace=<path>         enable per-op tracing, save a Chrome trace
  *   --breakdown            print a critical-path latency breakdown table
@@ -67,6 +73,8 @@ struct ArrayConfig
  */
 struct TelemetryOptions
 {
+    /** Base RNG seed for every workload this process drives. */
+    std::uint64_t seed = 1;
     std::string metricsJsonPath;
     std::string tracePath;
     std::string benchJsonPath;
@@ -111,6 +119,13 @@ void initTelemetry(int argc, char **argv);
  * BENCH_fig09.json unless --bench-json= overrides it).
  */
 void initTelemetry(int argc, char **argv, const TelemetryOptions &defaults);
+
+/**
+ * The process-wide workload seed (--seed=, default 1). runFio() and the
+ * YCSB drivers pull from here so a bench invocation's randomness is fully
+ * determined by its command line.
+ */
+std::uint64_t benchSeed();
 
 /** One fully assembled system on its own cluster. */
 class SystemUnderTest

@@ -101,8 +101,12 @@ MiniKv::maybeFlushMemtable()
     // sequential I/Os.
     auto keys = std::make_shared<std::vector<std::uint64_t>>();
     keys->reserve(memtable_.size());
-    for (const auto &[k, v] : memtable_)
+    for (const auto &[k, v] : memtable_) // draid-lint: allow(unordered-iter) -- keys are sorted below before any tick-affecting use
         keys->push_back(k);
+    // Hash order must not pick the SST layout: sort so the run (and every
+    // read latency that depends on where a key landed) is reproducible
+    // across standard-library implementations.
+    std::sort(keys->begin(), keys->end());
     memtable_.clear();
     const std::uint64_t run_bytes = memtableBytes_;
     memtableBytes_ = 0;

@@ -521,18 +521,17 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
             retryStripe(sw);
             return;
         }
-        const auto &plan = sw->plan;
         // Deltas -> new parity windows.
         std::uint64_t xor_bytes = 0;
         ec::Buffer new_p = ctx->oldP; // window-sized
         ec::Buffer new_q = ctx->oldQ;
         const auto &gf = ec::Gf256::instance();
-        for (std::size_t i = 0; i < plan.writes.size(); ++i) {
-            const auto &seg = plan.writes[i];
+        for (std::size_t i = 0; i < sw->plan.writes.size(); ++i) {
+            const auto &seg = sw->plan.writes[i];
             ec::Buffer delta =
                 ec::xorOf(ctx->oldSegs[i], sw->segData[i]);
             xor_bytes += 2 * delta.size();
-            const std::uint32_t rel = seg.offset - plan.parityOffset;
+            const std::uint32_t rel = seg.offset - sw->plan.parityOffset;
             if (p_alive)
                 ec::xorInto(new_p.data() + rel, delta.data(), delta.size());
             if (q_alive) {
@@ -543,15 +542,14 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
 
         chargeXor(xor_bytes, [this, sw, stripe, new_p, new_q, p_alive,
                               q_alive, p_dev, q_dev]() {
-            const auto &plan = sw->plan;
             const std::uint64_t paddr =
-                geom_.deviceAddress(stripe, plan.parityOffset);
+                geom_.deviceAddress(stripe, sw->plan.parityOffset);
 
             auto tally = std::make_shared<WriteTally>();
             std::uint64_t bytes = 0;
-            tally->remaining = static_cast<int>(plan.writes.size()) +
+            tally->remaining = static_cast<int>(sw->plan.writes.size()) +
                                (p_alive ? 1 : 0) + (q_alive ? 1 : 0);
-            for (const auto &seg : plan.writes)
+            for (const auto &seg : sw->plan.writes)
                 bytes += seg.length;
             bytes += (p_alive ? new_p.size() : 0) +
                      (q_alive ? new_q.size() : 0);
@@ -576,9 +574,8 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
             chargeDataPath(bytes, [this, sw, stripe, paddr, new_p, new_q,
                                    p_alive, q_alive, p_dev, q_dev,
                                    finish]() {
-                const auto &plan = sw->plan;
-                for (std::size_t i = 0; i < plan.writes.size(); ++i) {
-                    const auto &seg = plan.writes[i];
+                for (std::size_t i = 0; i < sw->plan.writes.size(); ++i) {
+                    const auto &seg = sw->plan.writes[i];
                     const std::uint32_t dev =
                         geom_.dataDevice(stripe, seg.dataIdx);
                     initiator_.writeRemote(
@@ -617,7 +614,6 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
 
     chargeDataPath(read_bytes, [this, sw, ctx, stripe, p_alive, q_alive,
                                 p_dev, q_dev, after_reads]() {
-        const auto &plan = sw->plan;
         auto join = [ctx, after_reads](bool ok, std::uint32_t dev) {
             if (!ok) {
                 ctx->ok = false;
@@ -626,8 +622,8 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
             if (--ctx->remaining == 0)
                 after_reads();
         };
-        for (std::size_t i = 0; i < plan.writes.size(); ++i) {
-            const auto &seg = plan.writes[i];
+        for (std::size_t i = 0; i < sw->plan.writes.size(); ++i) {
+            const auto &seg = sw->plan.writes[i];
             const std::uint32_t dev = geom_.dataDevice(stripe, seg.dataIdx);
             initiator_.readRemote(
                 dev, geom_.deviceAddress(stripe, seg.offset), seg.length,
@@ -638,10 +634,10 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
                 }, sw->traceId);
         }
         const std::uint64_t paddr =
-            geom_.deviceAddress(stripe, plan.parityOffset);
+            geom_.deviceAddress(stripe, sw->plan.parityOffset);
         if (p_alive) {
             initiator_.readRemote(
-                p_dev, paddr, plan.parityLength,
+                p_dev, paddr, sw->plan.parityLength,
                 [ctx, join, p_dev](blockdev::IoStatus st, ec::Buffer d) {
                     if (st == blockdev::IoStatus::kOk)
                         ctx->oldP = std::move(d);
@@ -650,7 +646,7 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
         }
         if (q_alive) {
             initiator_.readRemote(
-                q_dev, paddr, plan.parityLength,
+                q_dev, paddr, sw->plan.parityLength,
                 [ctx, join, q_dev](blockdev::IoStatus st, ec::Buffer d) {
                     if (st == blockdev::IoStatus::kOk)
                         ctx->oldQ = std::move(d);
@@ -724,15 +720,15 @@ HostCentricRaid::doRcw(std::shared_ptr<StripeWrite> sw,
                     raid6 && !(failed_ && *failed_ == q_dev);
 
                 auto tally = std::make_shared<WriteTally>();
-                const auto &plan = sw->plan;
-                tally->remaining = static_cast<int>(plan.writes.size()) +
-                                   (p_alive ? 1 : 0) + (q_alive ? 1 : 0);
+                tally->remaining =
+                    static_cast<int>(sw->plan.writes.size()) +
+                    (p_alive ? 1 : 0) + (q_alive ? 1 : 0);
                 if (tally->remaining == 0) {
                     sw->done(true);
                     return;
                 }
                 std::uint64_t bytes = 0;
-                for (const auto &seg : plan.writes)
+                for (const auto &seg : sw->plan.writes)
                     bytes += seg.length;
                 bytes += (p_alive ? p.size() : 0) +
                          (q_alive ? q.size() : 0);
@@ -755,11 +751,11 @@ HostCentricRaid::doRcw(std::shared_ptr<StripeWrite> sw,
                 };
                 chargeDataPath(bytes, [this, sw, stripe, p, q, p_dev,
                                        q_dev, p_alive, q_alive, finish]() {
-                    const auto &plan = sw->plan;
                     const std::uint64_t addr =
                         geom_.deviceAddress(stripe, 0);
-                    for (std::size_t i = 0; i < plan.writes.size(); ++i) {
-                        const auto &seg = plan.writes[i];
+                    for (std::size_t i = 0; i < sw->plan.writes.size();
+                         ++i) {
+                        const auto &seg = sw->plan.writes[i];
                         const std::uint32_t dev =
                             geom_.dataDevice(stripe, seg.dataIdx);
                         initiator_.writeRemote(

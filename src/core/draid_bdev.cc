@@ -334,11 +334,12 @@ DraidBdev::handleParity(const net::Message &msg)
                 node_.cpu().executeBytes(
                     data.size(), cluster_.config().xorBw, 0, cmd.traceId,
                     "reduce.xor", [this, key, cmd, data]() {
-                        auto *s = reduce_.find(key);
-                        if (!s)
+                        auto *sess = reduce_.find(key);
+                        if (!sess)
                             return;
-                        ReduceEngine::absorbNoCount(*s, cmd.fwdOffset, data);
-                        s->preloadPending = false;
+                        ReduceEngine::absorbNoCount(*sess, cmd.fwdOffset,
+                                                    data);
+                        sess->preloadPending = false;
                         maybeFinish(key);
                     });
             });

@@ -8,20 +8,6 @@
 
 namespace draid::ec {
 
-namespace {
-
-std::size_t
-chunkSize(const std::vector<Buffer> &data)
-{
-    for (const auto &d : data) {
-        if (!d.empty())
-            return d.size();
-    }
-    return 0;
-}
-
-} // namespace
-
 void
 Raid6Codec::computePQ(const std::vector<Buffer> &data, Buffer &p, Buffer &q)
 {

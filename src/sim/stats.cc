@@ -46,13 +46,21 @@ LatencyRecorder::stddev() const
     const auto n = samples_.size();
     if (n < 2)
         return 0.0;
-    const double m = mean();
-    double sq = 0.0;
+    // Exact integral moments: Var = (n·Σs² − (Σs)²) / n². Samples are
+    // ticks (≤ ~2^40) so the 128-bit products cannot overflow, and the
+    // single fp conversion at the edge keeps the result independent of
+    // summation order (draid-lint fp-accum).
+    unsigned __int128 sum_sq = 0;
     for (Tick s : samples_) {
-        const double d = static_cast<double>(s) - m;
-        sq += d * d;
+        const auto u = static_cast<unsigned __int128>(
+            static_cast<std::uint64_t>(s));
+        sum_sq += u * u;
     }
-    return std::sqrt(sq / static_cast<double>(n));
+    const auto sum = static_cast<unsigned __int128>(
+        static_cast<std::uint64_t>(sum_));
+    const unsigned __int128 num =
+        static_cast<unsigned __int128>(n) * sum_sq - sum * sum;
+    return std::sqrt(static_cast<double>(num)) / static_cast<double>(n);
 }
 
 Tick

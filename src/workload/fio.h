@@ -28,6 +28,11 @@ struct FioConfig
     bool sequential = false;
     /** Restrict offsets to the first N bytes; 0 = whole device. */
     std::uint64_t workingSetBytes = 0;
+    /**
+     * RNG seed for offset/ratio draws. When the job runs through the
+     * bench harness this is overwritten by the --seed flag (default 1):
+     * workloads never choose their own seed, the invocation does.
+     */
     std::uint64_t seed = 1;
 
     /**

@@ -65,7 +65,7 @@ TEST(Fabric, DeliveryIncludesPropagationDelay)
     class TimeEp : public Endpoint
     {
       public:
-        TimeEp(Simulator &s, Tick &t) : sim(s), t(t) {}
+        TimeEp(Simulator &s_, Tick &t_) : sim(s_), t(t_) {}
         void onMessage(const Message &) override { t = sim.now(); }
         Simulator &sim;
         Tick &t;
@@ -146,7 +146,7 @@ TEST(Fabric, ExtraDelayInjected)
     class TimeEp : public Endpoint
     {
       public:
-        TimeEp(Simulator &s, Tick &t) : sim(s), t(t) {}
+        TimeEp(Simulator &s_, Tick &t_) : sim(s_), t(t_) {}
         void onMessage(const Message &) override { t = sim.now(); }
         Simulator &sim;
         Tick &t;

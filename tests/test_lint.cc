@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fixture tests for draid_lint (DESIGN.md §5.6): every rule must fire at
+ * the exact location planted in tools/draid_lint/fixtures/, the clean and
+ * suppressed fixtures must pass, and the real repo must lint clean inside
+ * its suppression budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+#ifndef DRAID_LINT_BIN
+#error "tests/CMakeLists.txt must define DRAID_LINT_BIN"
+#endif
+#ifndef DRAID_LINT_FIXTURES
+#error "tests/CMakeLists.txt must define DRAID_LINT_FIXTURES"
+#endif
+#ifndef DRAID_REPO_ROOT
+#error "tests/CMakeLists.txt must define DRAID_REPO_ROOT"
+#endif
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string output; ///< stdout + stderr, interleaved
+};
+
+/** Run the lint binary with @p args, capturing output and exit code. */
+LintRun
+runLint(const std::string &args)
+{
+    const std::string cmd =
+        std::string(DRAID_LINT_BIN) + " " + args + " 2>&1";
+    LintRun r;
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return r;
+    std::array<char, 4096> buf;
+    std::size_t got;
+    while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), got);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        r.exitCode = WEXITSTATUS(status);
+    return r;
+}
+
+/** Lint one fixture file against the fixture tree. */
+LintRun
+lintFixture(const std::string &rel, const std::string &extra = "")
+{
+    return runLint("--repo=" + std::string(DRAID_LINT_FIXTURES) + " " +
+                   extra + " " + rel);
+}
+
+TEST(DraidLint, WallClockFiresAtPlantedLine)
+{
+    const LintRun r = lintFixture("src/sim/wall_clock.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/sim/wall_clock.cc:8: wall-clock:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, RawRngFiresOnIncludeAndEngine)
+{
+    const LintRun r = lintFixture("src/sim/raw_rng.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/sim/raw_rng.cc:1: raw-rng:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/sim/raw_rng.cc:8: raw-rng:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, UnorderedIterFiresOnRangeFor)
+{
+    const LintRun r = lintFixture("src/core/unordered_iter.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(
+        r.output.find("src/core/unordered_iter.cc:12: unordered-iter:"),
+        std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, PtrKeyFiresOnPointerKeyedMap)
+{
+    const LintRun r = lintFixture("src/raid/ptr_key.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/raid/ptr_key.cc:7: ptr-key:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, IncludeFirstFiresWhenOwnHeaderNotFirst)
+{
+    const LintRun r = lintFixture("src/net/include_first.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/net/include_first.cc:1: include-first:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, NsHeaderFiresOnUsingNamespaceInHeader)
+{
+    const LintRun r = lintFixture("src/net/ns_header.h");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/net/ns_header.h:6: ns-header:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, FpAccumFiresOnDoubleAccumulation)
+{
+    const LintRun r = lintFixture("src/sim/fp_accum.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/sim/fp_accum.cc:8: fp-accum:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, CleanFileProducesNoDiagnostics)
+{
+    const LintRun r = lintFixture("src/core/clean.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, SuppressionWithReasonSilencesTheRule)
+{
+    const LintRun r = lintFixture("src/core/suppressed.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("1 suppression(s)"), std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, ReasonlessSuppressionIsItselfAViolation)
+{
+    const LintRun r = lintFixture("src/core/bad_suppression.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(
+        r.output.find("src/core/bad_suppression.cc:8: bad-suppression:"),
+        std::string::npos)
+        << r.output;
+    // Without a valid reason the underlying violation still reports.
+    EXPECT_NE(r.output.find("src/core/bad_suppression.cc:9: wall-clock:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, SuppressionBudgetEnforced)
+{
+    const LintRun r =
+        lintFixture("src/core/suppressed.cc", "--max-suppressions=0");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("suppression budget exceeded"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, WholeFixtureTreeFiresEveryRule)
+{
+    const LintRun r = runLint("--repo=" +
+                              std::string(DRAID_LINT_FIXTURES) + " src");
+    EXPECT_EQ(r.exitCode, 1);
+    for (const char *rule :
+         {"wall-clock", "raw-rng", "unordered-iter", "ptr-key",
+          "include-first", "ns-header", "fp-accum", "bad-suppression"})
+        EXPECT_NE(r.output.find(std::string(": ") + rule + ":"),
+                  std::string::npos)
+            << "rule " << rule << " never fired:\n"
+            << r.output;
+}
+
+/** The enforcement test: the repo itself lints clean, inside budget. */
+TEST(DraidLint, RepoIsCleanWithinSuppressionBudget)
+{
+    const LintRun r = runLint("--repo=" + std::string(DRAID_REPO_ROOT) +
+                              " --max-suppressions=10");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+} // namespace

@@ -400,8 +400,9 @@ TEST(TimelineE2E, JournalRecordsFailureRebuildSwapLifecycle)
 
     // The completed record carries the stripe count.
     for (const auto &e : events) {
-        if (e.type == telemetry::EventType::kRebuildStarted)
+        if (e.type == telemetry::EventType::kRebuildStarted) {
             EXPECT_EQ(e.a, stripes);
+        }
         if (e.type == telemetry::EventType::kRebuildCompleted) {
             EXPECT_EQ(e.a, stripes);
             EXPECT_EQ(e.b, 0u); // no per-stripe failures

@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace fixture {
+
+long
+uptime()
+{
+    // draid-lint: allow(wall-clock)
+    auto t = std::chrono::steady_clock::now(); // NOT suppressed: no reason
+    return t.time_since_epoch().count();
+}
+
+} // namespace fixture

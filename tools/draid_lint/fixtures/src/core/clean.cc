@@ -1,0 +1,31 @@
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+/** A file exercising every rule's *allowed* neighbourhood: keyed lookup
+ *  into an unordered map, ordered iteration over a std::map keyed by a
+ *  stable id, and integral accumulation. Must produce zero diagnostics. */
+struct Ledger
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> bySlot_;
+    std::map<std::uint64_t, std::uint64_t> byId_;
+
+    std::uint64_t lookup(std::uint64_t slot) const
+    {
+        auto it = bySlot_.find(slot);
+        return it == bySlot_.end() ? 0 : it->second;
+    }
+
+    std::uint64_t total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[id, v] : byId_)
+            sum += v;
+        return sum;
+    }
+};
+
+} // namespace fixture

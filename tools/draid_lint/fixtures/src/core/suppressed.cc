@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace fixture {
+
+long
+uptime()
+{
+    // draid-lint: allow(wall-clock) -- fixture: exercises the suppression path
+    auto t = std::chrono::steady_clock::now(); // suppressed by line above
+    return t.time_since_epoch().count();
+}
+
+} // namespace fixture

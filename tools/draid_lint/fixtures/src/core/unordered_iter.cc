@@ -1,0 +1,18 @@
+#include <unordered_map>
+
+namespace fixture {
+
+struct Table
+{
+    std::unordered_map<int, int> cells_;
+
+    int sum() const
+    {
+        int total = 0;
+        for (const auto &[k, v] : cells_) // violation: unordered-iter
+            total += k + v;
+        return total;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+#include <vector> // violation: include-first (own header must come first)
+#include "include_first.h"
+
+namespace fixture {
+
+int
+answer()
+{
+    std::vector<int> v{42};
+    return v.front();
+}
+
+} // namespace fixture

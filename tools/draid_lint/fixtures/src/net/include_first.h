@@ -1,0 +1,10 @@
+#ifndef FIXTURE_INCLUDE_FIRST_H
+#define FIXTURE_INCLUDE_FIRST_H
+
+namespace fixture {
+
+int answer();
+
+} // namespace fixture
+
+#endif // FIXTURE_INCLUDE_FIRST_H

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_NS_HEADER_H
+#define FIXTURE_NS_HEADER_H
+
+#include <string>
+
+using namespace std; // violation: ns-header
+
+inline string
+greet()
+{
+    return "hi";
+}
+
+#endif // FIXTURE_NS_HEADER_H

@@ -1,0 +1,10 @@
+#include <map>
+
+namespace fixture {
+
+struct Registry
+{
+    std::map<int *, int> byAddr_; // violation: ptr-key
+};
+
+} // namespace fixture

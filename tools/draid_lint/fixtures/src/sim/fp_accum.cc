@@ -1,0 +1,12 @@
+namespace fixture {
+
+double
+totalSeconds(const long *ticks, int n)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(ticks[i]); // violation: fp-accum
+    return total;
+}
+
+} // namespace fixture

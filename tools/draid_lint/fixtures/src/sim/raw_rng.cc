@@ -1,0 +1,12 @@
+#include <random> // violation: raw-rng (banned include)
+
+namespace fixture {
+
+int
+roll()
+{
+    std::mt19937 gen(42); // violation: raw-rng (direct engine)
+    return static_cast<int>(gen());
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+#include <chrono>
+
+namespace fixture {
+
+long
+readClock()
+{
+    auto t = std::chrono::steady_clock::now(); // violation: wall-clock
+    return t.time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,270 @@
+#include "lint.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace draidlint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-character punctuators we keep fused (template scans rely on '<'
+ *  and '>' staying single, so shifts are deliberately NOT fused). */
+bool
+isFusedPunct(char a, char b)
+{
+    switch (a) {
+      case ':': return b == ':';
+      case '-': return b == '>' || b == '=' || b == '-';
+      case '+': return b == '=' || b == '+';
+      case '=': return b == '=';
+      case '!': return b == '=';
+      case '&': return b == '&';
+      case '|': return b == '|';
+      default: return false;
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Parse a `draid-lint:` marker inside comment text. Returns true when the
+ * comment is well-formed (`allow(<rule>) -- <reason>` with a non-empty
+ * reason); malformed markers land in badSuppressionLines.
+ */
+void
+parseSuppression(const std::string &comment, int line, FileUnit &unit)
+{
+    const std::string marker = "draid-lint:";
+    std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    std::string rest = trim(comment.substr(at + marker.size()));
+    const std::string allow = "allow(";
+    if (rest.compare(0, allow.size(), allow) != 0) {
+        unit.badSuppressionLines.push_back(line);
+        return;
+    }
+    std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+        unit.badSuppressionLines.push_back(line);
+        return;
+    }
+    std::string rule = trim(rest.substr(allow.size(), close - allow.size()));
+    std::string tail = trim(rest.substr(close + 1));
+    if (rule.empty() || tail.compare(0, 2, "--") != 0 ||
+        trim(tail.substr(2)).empty()) {
+        unit.badSuppressionLines.push_back(line);
+        return;
+    }
+    unit.suppressions.push_back({line, rule, trim(tail.substr(2))});
+}
+
+/** Parse an include target out of a directive line body. */
+void
+parseInclude(const std::string &body, int line, FileUnit &unit)
+{
+    std::size_t i = 0;
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\t'))
+        ++i;
+    if (i >= body.size())
+        return;
+    char open = body[i];
+    char close_ch = open == '"' ? '"' : open == '<' ? '>' : '\0';
+    if (close_ch == '\0')
+        return;
+    std::size_t end = body.find(close_ch, i + 1);
+    if (end == std::string::npos)
+        return;
+    unit.includes.push_back(
+        {line, body.substr(i + 1, end - i - 1), open == '"'});
+}
+
+} // namespace
+
+FileUnit
+lexFile(const std::string &rel_path, const std::string &content)
+{
+    FileUnit unit;
+    unit.relPath = rel_path;
+    std::size_t dot = rel_path.rfind('.');
+    unit.isHeader = dot != std::string::npos && rel_path.substr(dot) == ".h";
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool at_line_start = true;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? content[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+            ++i;
+            continue;
+        }
+
+        // Line comment: scan for a suppression marker, then discard.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = content.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            parseSuppression(content.substr(i + 2, end - i - 2), line, unit);
+            i = end;
+            continue;
+        }
+
+        // Block comment (suppressions are line-comment-only by design).
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(content[i] == '*' && peek(1) == '/')) {
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i < n ? i + 2 : n;
+            continue;
+        }
+
+        // Preprocessor directive: record includes, swallow the rest of
+        // the (possibly continued) line so macro bodies don't leak
+        // tokens into the rules.
+        if (c == '#' && at_line_start) {
+            std::size_t j = i + 1;
+            while (j < n && (content[j] == ' ' || content[j] == '\t'))
+                ++j;
+            std::size_t word_end = j;
+            while (word_end < n &&
+                   isIdentChar(content[word_end]))
+                ++word_end;
+            std::string directive = content.substr(j, word_end - j);
+            std::size_t end = i;
+            int extra_lines = 0;
+            while (end < n) {
+                if (content[end] == '\n') {
+                    if (end > 0 && content[end - 1] == '\\') {
+                        ++extra_lines;
+                        ++end;
+                        continue;
+                    }
+                    break;
+                }
+                ++end;
+            }
+            if (directive == "include")
+                parseInclude(content.substr(word_end, end - word_end), line,
+                             unit);
+            line += extra_lines;
+            i = end;
+            continue;
+        }
+        at_line_start = false;
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d0 = i + 2;
+            std::size_t dp = d0;
+            while (dp < n && content[dp] != '(')
+                ++dp;
+            std::string close_seq =
+                ")" + content.substr(d0, dp - d0) + "\"";
+            std::size_t end = content.find(close_seq, dp);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close_seq.size();
+            for (std::size_t k = i; k < end && k < n; ++k)
+                if (content[k] == '\n')
+                    ++line;
+            unit.tokens.push_back({Token::Kind::kString, "", line});
+            i = end;
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && content[j] != quote) {
+                if (content[j] == '\\')
+                    ++j;
+                else if (content[j] == '\n')
+                    ++line; // unterminated; keep the count sane
+                ++j;
+            }
+            unit.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                                : Token::Kind::kCharLit,
+                                   "", line});
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(content[j]))
+                ++j;
+            unit.tokens.push_back({Token::Kind::kIdentifier,
+                                   content.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n && (isIdentChar(content[j]) || content[j] == '\'' ||
+                             ((content[j] == '+' || content[j] == '-') &&
+                              j > i &&
+                              (content[j - 1] == 'e' ||
+                               content[j - 1] == 'E' ||
+                               content[j - 1] == 'p' ||
+                               content[j - 1] == 'P')) ||
+                             content[j] == '.'))
+                ++j;
+            unit.tokens.push_back(
+                {Token::Kind::kNumber, content.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Punctuation, fusing the two-char operators the rules rely on.
+        if (isFusedPunct(c, peek(1))) {
+            unit.tokens.push_back(
+                {Token::Kind::kPunct, content.substr(i, 2), line});
+            i += 2;
+            continue;
+        }
+        unit.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+        ++i;
+    }
+    return unit;
+}
+
+} // namespace draidlint

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * draid-lint: repo-aware determinism & hygiene linter for the dRAID
+ * reproduction (DESIGN.md §5.6).
+ *
+ * A dependency-free C++17 tokenizer + rule registry — deliberately NOT a
+ * full C++ front end. Rules are pattern checks over the token stream,
+ * tuned so the repo's idioms pass and the determinism hazards the paper
+ * reproduction cares about (wall-clock reads, unseeded RNGs, hash-order
+ * iteration, pointer ordering, float tick accumulation) fail loudly.
+ *
+ * Diagnostics print as `file:line: rule-id: message` and any violation
+ * makes the binary exit non-zero. Inline suppression:
+ *
+ *     // draid-lint: allow(<rule-id>) -- <reason>
+ *
+ * covers the comment's own line and the line below it; the reason text is
+ * mandatory (a reasonless allow() is itself a violation).
+ */
+
+#ifndef DRAID_TOOLS_LINT_H
+#define DRAID_TOOLS_LINT_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace draidlint {
+
+struct Token
+{
+    enum class Kind
+    {
+        kIdentifier,
+        kNumber,
+        kString,
+        kCharLit,
+        kPunct,
+    };
+
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+/** One #include directive, in source order. */
+struct Include
+{
+    int line;
+    std::string target; ///< path between the quotes / angle brackets
+    bool quoted;        ///< "header.h" (true) vs <header> (false)
+};
+
+/** One parsed `draid-lint: allow(rule) -- reason` comment. */
+struct Suppression
+{
+    int line;
+    std::string rule;
+    std::string reason;
+};
+
+/** A lexed source file. */
+struct FileUnit
+{
+    std::string relPath; ///< forward-slash path relative to the repo root
+    bool isHeader = false;
+    std::vector<Token> tokens;
+    std::vector<Include> includes;
+    std::vector<Suppression> suppressions;
+    /** Lines carrying a malformed / reasonless draid-lint comment. */
+    std::vector<int> badSuppressionLines;
+};
+
+struct Diagnostic
+{
+    std::string file;
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+/** Lex @p content as C++ (comments, strings, raw strings, preprocessor). */
+FileUnit lexFile(const std::string &rel_path, const std::string &content);
+
+/**
+ * Identifier tables shared across the scan. Heuristic and name-based:
+ * good enough for a single repo with a consistent naming convention,
+ * not for arbitrary C++.
+ */
+struct SymbolTables
+{
+    /** Names declared as std::unordered_{map,set,...} in any header. */
+    std::set<std::string> unorderedNames;
+    /** Names declared float/double in src/sim + src/net headers. */
+    std::set<std::string> fpNames;
+    /** Every scanned rel-path (for self-include sibling lookups). */
+    std::set<std::string> scannedPaths;
+};
+
+/** Harvest header-declared identifiers from @p unit into @p tables. */
+void collectHeaderSymbols(const FileUnit &unit, SymbolTables &tables);
+
+/**
+ * Run every rule on @p unit, appending diagnostics. Suppressions are
+ * already applied; what comes back is reportable.
+ */
+void runRules(const FileUnit &unit, const SymbolTables &tables,
+              std::vector<Diagnostic> &out);
+
+/** All rule ids, for --list-rules and allow() validation. */
+const std::vector<std::string> &allRuleIds();
+
+} // namespace draidlint
+
+#endif // DRAID_TOOLS_LINT_H

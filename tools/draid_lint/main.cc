@@ -1,0 +1,179 @@
+/**
+ * @file
+ * draid_lint driver: walks the scan roots, lexes every C++ file, runs the
+ * rule registry twice (pass 1 harvests header symbols, pass 2 lints) and
+ * prints `file:line: rule-id: message` sorted by location.
+ *
+ * Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: draid_lint [options] [paths...]\n"
+        "\n"
+        "Scans C++ sources (.h/.cc) for dRAID determinism & hygiene rule\n"
+        "violations. Paths are directories or files relative to the repo\n"
+        "root; default: src bench tests.\n"
+        "\n"
+        "options:\n"
+        "  --repo=<dir>             repo root the rules scope against\n"
+        "                           (default: current directory)\n"
+        "  --max-suppressions=<n>   fail when more than <n> allow()\n"
+        "                           comments exist across the scan\n"
+        "  --list-rules             print rule ids and exit\n"
+        "  -h, --help               this text\n");
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h";
+}
+
+/** Repo-relative forward-slash path. */
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    std::string s = p.lexically_relative(root).generic_string();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    long max_suppressions = -1;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--repo=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg.rfind("--max-suppressions=", 0) == 0) {
+            max_suppressions = std::strtol(arg.c_str() + 19, nullptr, 10);
+        } else if (arg == "--list-rules") {
+            for (const std::string &id : draidlint::allRuleIds())
+                std::printf("%s\n", id.c_str());
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "draid_lint: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+
+    std::error_code ec;
+    root = fs::absolute(root, ec);
+    if (ec || !fs::is_directory(root)) {
+        std::fprintf(stderr, "draid_lint: repo root '%s' is not a directory\n",
+                     root.string().c_str());
+        return 2;
+    }
+
+    // Gather the file list (sorted for stable output across platforms).
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        fs::path full = root / p;
+        if (fs::is_regular_file(full)) {
+            files.push_back(full);
+        } else if (fs::is_directory(full)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(full)) {
+                if (entry.is_regular_file() && isSourceFile(entry.path()))
+                    files.push_back(entry.path());
+            }
+        } else {
+            std::fprintf(stderr, "draid_lint: no such path: %s\n",
+                         full.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 1: lex everything and harvest header-declared symbols.
+    std::vector<draidlint::FileUnit> units;
+    draidlint::SymbolTables tables;
+    for (const fs::path &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "draid_lint: cannot read %s\n",
+                         f.string().c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        units.push_back(draidlint::lexFile(relPath(f, root), ss.str()));
+        draidlint::collectHeaderSymbols(units.back(), tables);
+        // Partial scans (single files) still need the self-include rule:
+        // register a sibling header even when it wasn't asked for.
+        fs::path sibling = f;
+        sibling.replace_extension(".h");
+        if (sibling != f && fs::is_regular_file(sibling))
+            tables.scannedPaths.insert(relPath(sibling, root));
+    }
+
+    // Pass 2: rules.
+    std::vector<draidlint::Diagnostic> diags;
+    std::size_t suppression_count = 0;
+    for (const draidlint::FileUnit &unit : units) {
+        draidlint::runRules(unit, tables, diags);
+        suppression_count += unit.suppressions.size();
+    }
+
+    std::sort(diags.begin(), diags.end(),
+              [](const draidlint::Diagnostic &a,
+                 const draidlint::Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    for (const auto &d : diags)
+        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+
+    bool over_budget = max_suppressions >= 0 &&
+                       suppression_count >
+                           static_cast<std::size_t>(max_suppressions);
+    std::fprintf(stderr,
+                 "draid_lint: %zu file(s), %zu violation(s), "
+                 "%zu suppression(s)%s\n",
+                 units.size(), diags.size(), suppression_count,
+                 over_budget ? " (over budget)" : "");
+    if (over_budget)
+        std::fprintf(stderr,
+                     "draid_lint: suppression budget exceeded: %zu > %ld\n",
+                     suppression_count, max_suppressions);
+    return (!diags.empty() || over_budget) ? 1 : 0;
+}
