@@ -4,11 +4,15 @@
 int
 main(int argc, char **argv)
 {
-    // Default artifacts: a bench-JSON perf row per job plus the windowed
-    // timeline. --bench-json= / --timeline= override the paths.
+    // Default artifacts: a bench-JSON perf row per job, the windowed
+    // timeline, and the engine wall-clock profile (ROADMAP item 1's
+    // baseline artifact). --bench-json= / --timeline= / --profile=
+    // override the paths; --no-profile turns the profiler off.
     draid::bench::TelemetryOptions defaults;
     defaults.benchJsonPath = "BENCH_fig09.json";
     defaults.timelinePath = "TIMELINE_fig09.json";
+    defaults.profilePath = "BENCH_simcore.json";
+    defaults.benchLabel = "fig09";
     draid::bench::initTelemetry(argc, argv, defaults);
     draid::bench::figReadVsIoSize(draid::raid::RaidLevel::kRaid5, "Figure 9");
     return 0;

@@ -9,6 +9,7 @@
 
 #include "telemetry/critical_path.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/sim_profiler.h"
 #include "telemetry/timeline.h"
 
 namespace draid::bench {
@@ -17,6 +18,39 @@ namespace {
 
 /** Process-wide telemetry flags; set once by initTelemetry(). */
 TelemetryOptions g_telemetry;
+
+/**
+ * Process-wide engine profiler: every SystemUnderTest's simulator feeds
+ * the same instance, so the BENCH_simcore.json row covers the whole
+ * invocation (all systems, all jobs). Attribution is observe-only; the
+ * determinism gate proves figure output is identical with it on or off.
+ */
+telemetry::SimProfiler g_simProfiler;
+
+/** atexit hook: write/render the engine-profile report once per process. */
+void
+saveSimcoreProfile()
+{
+    const telemetry::SimProfiler::Report report = g_simProfiler.report();
+    if (!g_telemetry.profilePath.empty()) {
+        std::ofstream os(g_telemetry.profilePath, std::ios::trunc);
+        if (os)
+            telemetry::SimProfiler::writeJson(os, report,
+                                              g_telemetry.benchLabel,
+                                              g_telemetry.seed);
+        else
+            std::fprintf(stderr,
+                         "warning: could not write engine profile to %s\n",
+                         g_telemetry.profilePath.c_str());
+    }
+    if (g_telemetry.profileAscii) {
+        std::ostringstream ss;
+        telemetry::SimProfiler::renderAscii(ss, report,
+                                            g_telemetry.benchLabel);
+        std::fputs(ss.str().c_str(), stderr);
+        std::fflush(stderr);
+    }
+}
 
 /** Figure label from the last printFigureHeader, for bench-JSON rows. */
 std::string g_currentFigure;
@@ -60,12 +94,20 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
             opts.breakdown = true;
         else if (arg == "--no-flight-recorder")
             opts.flightRecorder = false;
-        else if (arg.rfind("--", 0) == 0)
+        else if (arg.rfind("--profile=", 0) == 0)
+            opts.profilePath = arg.substr(10);
+        else if (arg == "--profile-ascii")
+            opts.profileAscii = true;
+        else if (arg == "--no-profile") {
+            opts.profilePath.clear();
+            opts.profileAscii = false;
+        } else if (arg.rfind("--", 0) == 0)
             std::fprintf(stderr,
                          "warning: unknown flag %s (known: "
                          "--seed= --metrics-json= --trace= --bench-json= "
                          "--timeline= --timeline-ascii "
-                         "--breakdown --no-flight-recorder)\n",
+                         "--breakdown --no-flight-recorder "
+                         "--profile= --profile-ascii --no-profile)\n",
                          arg.c_str());
     }
     return opts;
@@ -87,6 +129,10 @@ initTelemetry(int argc, char **argv, const TelemetryOptions &defaults)
     if (!g_telemetry.tracePath.empty())
         telemetry::FlightRecorder::setCrashTracePath(
             g_telemetry.tracePath + ".postmortem.json");
+    // The profile row spans the whole invocation, so it is written when
+    // the process winds down, after the last system under test retires.
+    if (g_telemetry.profiling())
+        std::atexit(saveSimcoreProfile);
 }
 
 std::uint64_t
@@ -144,6 +190,10 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
         cluster_->tracer().setEnabled(true);
     if (g_telemetry.any())
         cluster_->startUtilizationSampling(kUtilSampleInterval);
+    // Observe-only: attaching the engine profiler cannot perturb event
+    // order, so simulated output is identical with or without this.
+    if (g_telemetry.profiling())
+        g_simProfiler.attach(cluster_->sim());
 
     // A bench op timeout is always a bug: dump the ring right away.
     telemetry::FlightRecorder &fr =

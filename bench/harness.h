@@ -69,6 +69,16 @@ struct ArrayConfig
  *   --no-flight-recorder   disable the always-on flight recorder (used by
  *                          the determinism check: enabled vs dark runs
  *                          must produce byte-identical figure output)
+ *   --profile=<path>       attach the engine profiler to every simulator
+ *                          this process builds and write one JSON row of
+ *                          host wall-clock attribution (events/sec,
+ *                          heap stats, per-label costs) at process exit.
+ *                          fig09/fig17 default to BENCH_simcore.json.
+ *   --profile-ascii        render the end-of-run attribution report as an
+ *                          ASCII table on stderr (implies profiling)
+ *   --no-profile           drop the binary's default profile path; used
+ *                          by the CI proof that profiling on vs off
+ *                          leaves simulated output byte-identical
  * Unrecognized --flags draw a warning on stderr.
  */
 struct TelemetryOptions
@@ -79,9 +89,13 @@ struct TelemetryOptions
     std::string tracePath;
     std::string benchJsonPath;
     std::string timelinePath;
+    std::string profilePath;
+    /** Tag written into the BENCH_simcore.json row ("fig09", ...). */
+    std::string benchLabel = "bench";
     bool timelineAscii = false;
     bool breakdown = false;
     bool flightRecorder = true;
+    bool profileAscii = false;
 
     bool any() const
     {
@@ -99,6 +113,12 @@ struct TelemetryOptions
     bool timeline() const
     {
         return timelineAscii || !timelinePath.empty();
+    }
+
+    /** Whether the engine profiler observes this process's simulators. */
+    bool profiling() const
+    {
+        return profileAscii || !profilePath.empty();
     }
 };
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic event-pump microbenchmark for the simulator core.
+ *
+ * Measures raw engine throughput with no simulated components in the way,
+ * giving BENCH_simcore.json a lower bound to compare the fig09/fig17
+ * attribution numbers against:
+ *
+ *  - micro.noop  : N independent no-op events, pre-scheduled in same-tick
+ *                  groups so the heap is deep and batches are wide — the
+ *                  push/pop + drain cost of a loaded heap.
+ *  - micro.chain : N chained events, each scheduling its successor — the
+ *                  near-empty-heap latency path every continuation
+ *                  callback in the real simulation pays.
+ *
+ * All timing comes from telemetry::SimProfiler; this file never reads the
+ * host clock itself (the draid-lint wall-clock rule bans that outside
+ * src/telemetry/, here as everywhere in bench/).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.h"
+#include "telemetry/sim_profiler.h"
+
+namespace {
+
+struct Options
+{
+    std::uint64_t events = 1u << 20; ///< events per pump
+    std::uint64_t seed = 1;          ///< no RNG; recorded for the row key
+    std::string profilePath = "BENCH_simcore.json";
+    bool ascii = false;
+};
+
+/** Group size for the same-tick batches of the no-op pump. */
+constexpr std::uint64_t kBatchWidth = 64;
+
+void
+runNoopPump(draid::telemetry::SimProfiler &profiler, std::uint64_t events)
+{
+    draid::sim::Simulator sim;
+    profiler.attach(sim);
+    // Pre-schedule everything so the heap holds `events` entries at its
+    // deepest; kBatchWidth events share each tick to exercise the
+    // same-tick drain.
+    for (std::uint64_t i = 0; i < events; ++i) {
+        const draid::sim::Tick when =
+            static_cast<draid::sim::Tick>(i / kBatchWidth);
+        sim.scheduleAt(when, "micro.noop", []() {});
+    }
+    sim.run();
+}
+
+void
+runChainPump(draid::telemetry::SimProfiler &profiler, std::uint64_t events)
+{
+    draid::sim::Simulator sim;
+    profiler.attach(sim);
+    std::uint64_t remaining = events;
+    // Self-rescheduling chain: exactly one event in the heap at a time.
+    std::function<void()> step = [&]() {
+        if (--remaining > 0)
+            sim.schedule(1, "micro.chain", step);
+    };
+    sim.schedule(1, "micro.chain", step);
+    sim.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--events=", 0) == 0)
+            opts.events = std::strtoull(arg.c_str() + 9, nullptr, 10);
+        else if (arg.rfind("--seed=", 0) == 0)
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--profile=", 0) == 0)
+            opts.profilePath = arg.substr(10);
+        else if (arg == "--profile-ascii")
+            opts.ascii = true;
+        else if (arg == "--no-profile")
+            opts.profilePath.clear();
+        else {
+            std::fprintf(stderr,
+                         "usage: micro_simcore [--events=N] [--seed=N] "
+                         "[--profile=<path>] [--profile-ascii] "
+                         "[--no-profile]\n");
+            return 2;
+        }
+    }
+    if (opts.events == 0)
+        opts.events = 1;
+
+    draid::telemetry::SimProfiler profiler;
+    runNoopPump(profiler, opts.events);
+    runChainPump(profiler, opts.events);
+
+    const draid::telemetry::SimProfiler::Report report = profiler.report();
+    std::printf("# micro_simcore: %llu events/pump, %.0f events/sec "
+                "aggregate\n",
+                static_cast<unsigned long long>(opts.events),
+                report.eventsPerSec);
+    if (!opts.profilePath.empty()) {
+        std::ofstream os(opts.profilePath, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr,
+                         "error: could not write engine profile to %s\n",
+                         opts.profilePath.c_str());
+            return 1;
+        }
+        draid::telemetry::SimProfiler::writeJson(os, report,
+                                                 "micro_simcore",
+                                                 opts.seed);
+    }
+    if (opts.ascii) {
+        std::ostringstream ss;
+        draid::telemetry::SimProfiler::renderAscii(ss, report,
+                                                   "micro_simcore");
+        std::fputs(ss.str().c_str(), stderr);
+    }
+    return 0;
+}

@@ -34,7 +34,7 @@ MiniKv::enqueueWal(PutCallback cb, std::uint64_t key)
     }
     if (!walTimerArmed_) {
         walTimerArmed_ = true;
-        sim_.schedule(cfg_.walBatchDelay, [this]() {
+        sim_.schedule(cfg_.walBatchDelay, "minikv.wal_batch", [this]() {
             walTimerArmed_ = false;
             if (!walBatch_.empty())
                 flushWalBatch();

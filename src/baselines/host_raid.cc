@@ -190,7 +190,7 @@ HostCentricRaid::write(std::uint64_t offset, ec::Buffer data,
         }
     };
 
-    cluster_.sim().schedule(tuning_.queueDelay,
+    cluster_.sim().schedule(tuning_.queueDelay, "hostraid.queue",
                             [this, submit, trace]() mutable {
         cluster_.host().cpu().execute(tuning_.perOpCost + tuning_.lockCost,
                                       trace, "host.submit",
@@ -926,7 +926,7 @@ HostCentricRaid::read(std::uint64_t offset, std::uint32_t length,
         for (auto &[stripe, ge] : groups)
             readStripeGroup(stripe, std::move(ge), out, group_done, trace);
     };
-    cluster_.sim().schedule(tuning_.queueDelay,
+    cluster_.sim().schedule(tuning_.queueDelay, "hostraid.queue",
                             [this, submit, trace]() mutable {
         cluster_.host().cpu().execute(tuning_.perOpCost, trace,
                                       "host.submit", std::move(submit));

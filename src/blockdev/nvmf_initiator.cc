@@ -89,7 +89,7 @@ void
 NvmfInitiator::arm(std::uint64_t id, Pending p)
 {
     pending_.emplace(id, std::move(p));
-    cluster_.sim().schedule(cluster_.config().opTimeout,
+    cluster_.sim().schedule(cluster_.config().opTimeout, "nvmf.timeout",
                             [this, id]() { onTimeout(id); });
 }
 

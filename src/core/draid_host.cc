@@ -1202,6 +1202,7 @@ DraidHost::armBwTimer()
         return;
     bwTimerArmed_ = true;
     cluster_.sim().schedule(cluster_.config().rebalancePeriod,
+                            "draid.bw_refresh",
                             [this]() { refreshBwPlan(); });
 }
 

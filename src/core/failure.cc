@@ -10,7 +10,8 @@ DeadlineTable::arm(std::uint64_t id, sim::Tick delay,
 {
     const std::uint64_t gen = nextGen_++;
     armed_[id] = gen;
-    sim_.schedule(delay, [this, id, gen, expire = std::move(expire)]() {
+    sim_.schedule(delay, "failure.deadline",
+                  [this, id, gen, expire = std::move(expire)]() {
         auto it = armed_.find(id);
         if (it == armed_.end() || it->second != gen)
             return; // disarmed or re-armed since

@@ -64,7 +64,7 @@ Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
             span.end = sim_.now() + delay;
             tracer_->recordSpan(std::move(span));
         }
-        sim_.schedule(delay, std::move(done));
+        sim_.schedule(delay, "fabric.prop", std::move(done));
     };
     sp.nic->tx().transfer(bytes, trace, joint);
     dp.nic->rx().transfer(bytes, trace, joint);

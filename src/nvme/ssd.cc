@@ -27,6 +27,9 @@ Ssd::Ssd(sim::Simulator &sim, const SsdConfig &config)
       store_(config.capacity),
       channel_(sim, 1e9, /*latency=*/0, config.perCommand)
 {
+    // Label-only bind: channel completions attribute as "ssd.channel" in
+    // the engine profile (span recording stays off until a tracer binds).
+    channel_.bindTrace(nullptr, 0, "ssd.channel");
 }
 
 void
@@ -44,8 +47,8 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
     const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
     channel_.transfer(scaled(length, config_.readBw),
                       [this, offset, length, cb = std::move(cb)]() {
-        sim_.schedule(config_.readLatency, [this, offset, length,
-                                            cb = std::move(cb)]() {
+        sim_.schedule(config_.readLatency, "ssd.read.done",
+                      [this, offset, length, cb = std::move(cb)]() {
             ++reads_;
             cb(blockdev::IoStatus::kOk, store_.readSync(offset, length));
         });
@@ -79,9 +82,9 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
     channel_.transfer(scaled(length, config_.writeBw),
                       [this, offset, data = std::move(data),
                        cb = std::move(cb)]() {
-        sim_.schedule(config_.writeLatency, [this, offset,
-                                             data = std::move(data),
-                                             cb = std::move(cb)]() {
+        sim_.schedule(config_.writeLatency, "ssd.write.done",
+                      [this, offset, data = std::move(data),
+                       cb = std::move(cb)]() {
             ++writes_;
             store_.writeSync(offset, data);
             cb(blockdev::IoStatus::kOk);

@@ -37,7 +37,11 @@ CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
         tracer_->recordSpan(std::move(span));
     }
 
-    sim_.scheduleAt(end, std::move(done));
+    // Engine-profiler attribution: reuse the trace tag ("parity.xor",
+    // "host.cmd", ...) so per-source cost rolls up by work type.
+    sim_.scheduleAt(end, what != nullptr && *what != '\0' ? what
+                                                          : "cpu.exec",
+                    std::move(done));
 }
 
 void

@@ -56,7 +56,11 @@ Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
         tracer_->recordSpan(std::move(span));
     }
 
-    sim_.scheduleAt(end + latency_, std::move(done));
+    // Engine-profiler attribution: completions carry the lane name bound
+    // by bindTrace ("nic.tx", "ssd.write", ...) when available.
+    sim_.scheduleAt(end + latency_,
+                    *traceLane_ != '\0' ? traceLane_ : "pipe.xfer",
+                    std::move(done));
 }
 
 void

@@ -9,56 +9,129 @@ void
 Simulator::schedule(Tick delay, EventFn fn)
 {
     assert(delay >= 0);
-    scheduleAt(now_ + delay, std::move(fn));
+    scheduleAt(now_ + delay, nullptr, std::move(fn));
+}
+
+void
+Simulator::schedule(Tick delay, const char *label, EventFn fn)
+{
+    assert(delay >= 0);
+    scheduleAt(now_ + delay, label, std::move(fn));
 }
 
 void
 Simulator::scheduleAt(Tick when, EventFn fn)
 {
+    scheduleAt(when, nullptr, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Tick when, const char *label, EventFn fn)
+{
     assert(when >= now_);
-    queue_.push(Event{when, seq_++, std::move(fn)});
+    heap_.push_back(Event{when, seq_++, label, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+    if (engineObserver_)
+        engineObserver_->onSchedule(when, label, pendingEvents());
+}
+
+void
+Simulator::drainTick(Tick when)
+{
+    const std::size_t heap_before = heap_.size();
+    while (!heap_.empty() && heap_.front().when == when) {
+        std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+        batch_.push_back(std::move(heap_.back()));
+        heap_.pop_back();
+    }
+    if (engineObserver_)
+        engineObserver_->onBatchDrain(when, batch_.size(), heap_before);
+}
+
+void
+Simulator::execute(Event &ev)
+{
+    ++executed_;
+    if (engineObserver_) {
+        engineObserver_->onEventStart(now_, ev.label);
+        ev.fn();
+        engineObserver_->onEventEnd();
+    } else {
+        ev.fn();
+    }
+    // Release the closure eagerly: the batch slot stays alive until the
+    // whole batch retires, and closures can pin buffers.
+    ev.fn = nullptr;
+}
+
+void
+Simulator::advanceTo(Tick when)
+{
+    assert(when >= now_);
+    const bool advanced = when > now_;
+    now_ = when;
+    if (advanced && clockObserver_)
+        clockObserver_(now_);
 }
 
 void
 Simulator::run()
 {
+    assert(!running_);
+    running_ = true;
     stopped_ = false;
-    while (!queue_.empty() && !stopped_) {
-        // Moving out of a priority_queue top requires a const_cast; the
-        // element is popped immediately after, so this is safe.
-        Event ev = std::move(const_cast<Event &>(queue_.top()));
-        queue_.pop();
-        assert(ev.when >= now_);
-        const bool advanced = ev.when > now_;
-        now_ = ev.when;
-        if (advanced && clockObserver_)
-            clockObserver_(now_);
-        ++executed_;
-        ev.fn();
+    if (engineObserver_)
+        engineObserver_->onRunStart();
+    while (!stopped_) {
+        if (batchPos_ >= batch_.size()) {
+            batch_.clear();
+            batchPos_ = 0;
+            if (heap_.empty())
+                break;
+            advanceTo(heap_.front().when);
+            drainTick(now_);
+        }
+        execute(batch_[batchPos_++]);
     }
+    if (engineObserver_)
+        engineObserver_->onRunEnd();
+    running_ = false;
 }
 
 void
 Simulator::runUntil(Tick deadline)
 {
+    assert(!running_);
+    running_ = true;
     stopped_ = false;
-    while (!queue_.empty() && !stopped_) {
-        if (queue_.top().when > deadline)
+    if (engineObserver_)
+        engineObserver_->onRunStart();
+    while (!stopped_) {
+        if (batchPos_ >= batch_.size()) {
+            batch_.clear();
+            batchPos_ = 0;
+            if (heap_.empty() || heap_.front().when > deadline)
+                break;
+            advanceTo(heap_.front().when);
+            drainTick(now_);
+        } else if (now_ > deadline) {
+            // Batch left over from a stop() at a tick past this deadline
+            // (possible when resuming with an earlier deadline): the
+            // events stay pending, exactly as heap events past the
+            // deadline would.
             break;
-        Event ev = std::move(const_cast<Event &>(queue_.top()));
-        queue_.pop();
-        const bool advanced = ev.when > now_;
-        now_ = ev.when;
-        if (advanced && clockObserver_)
-            clockObserver_(now_);
-        ++executed_;
-        ev.fn();
+        } else {
+            execute(batch_[batchPos_++]);
+            continue;
+        }
+        // Freshly drained batch: fall through to the next iteration so
+        // the now_ <= deadline guard applies uniformly.
     }
-    if (!stopped_ && now_ < deadline) {
-        now_ = deadline;
-        if (clockObserver_)
-            clockObserver_(now_);
-    }
+    if (!stopped_ && batchPos_ >= batch_.size() && now_ < deadline)
+        advanceTo(deadline);
+    if (engineObserver_)
+        engineObserver_->onRunEnd();
+    running_ = false;
 }
 
 } // namespace draid::sim

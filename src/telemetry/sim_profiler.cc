@@ -1,0 +1,275 @@
+#include "telemetry/sim_profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+namespace draid::telemetry {
+
+namespace {
+
+/** Label shown for schedule() call sites that carry no tag. */
+const char *const kUnlabeled = "(unlabeled)";
+
+} // namespace
+
+std::uint64_t
+SimProfiler::hostNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::size_t
+SimProfiler::binFor(std::size_t v)
+{
+    std::size_t b = 0;
+    while (v > 1 && b + 1 < kHistBins) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+std::size_t
+SimProfiler::slotFor(const char *label)
+{
+    if (label == nullptr)
+        label = kUnlabeled;
+    // The engine fires the same handful of label pointers millions of
+    // times; a one-entry cache makes the common case a pointer compare.
+    if (label == lastLabel_)
+        return lastSlot_;
+    auto it = slotIndex_.find(label);
+    std::size_t idx;
+    if (it != slotIndex_.end()) {
+        idx = it->second;
+    } else {
+        idx = slots_.size();
+        slots_.push_back(Slot{label, 0, 0, 0, 0});
+        slotIndex_.emplace(label, idx);
+    }
+    lastLabel_ = label;
+    lastSlot_ = idx;
+    return idx;
+}
+
+void
+SimProfiler::onSchedule(sim::Tick, const char *, std::size_t pending)
+{
+    ++scheduled_;
+    maxQueueDepth_ = std::max(maxQueueDepth_, pending);
+    ++depthHist_[binFor(pending)];
+}
+
+void
+SimProfiler::onBatchDrain(sim::Tick, std::size_t batch, std::size_t)
+{
+    ++drains_;
+    maxBatch_ = std::max(maxBatch_, batch);
+    ++batchHist_[binFor(batch)];
+}
+
+void
+SimProfiler::onEventStart(sim::Tick, const char *label)
+{
+    eventSlot_ = slotFor(label);
+    inEvent_ = true;
+    eventStartNs_ = hostNowNs();
+}
+
+void
+SimProfiler::onEventEnd()
+{
+    const std::uint64_t end = hostNowNs();
+    if (!inEvent_)
+        return;
+    inEvent_ = false;
+    ++events_;
+    const std::uint64_t ns =
+        end >= eventStartNs_ ? end - eventStartNs_ : 0;
+    Slot &slot = slots_[eventSlot_];
+    ++slot.count;
+    slot.totalNs += ns;
+    slot.minNs = slot.count == 1 ? ns : std::min(slot.minNs, ns);
+    slot.maxNs = std::max(slot.maxNs, ns);
+}
+
+void
+SimProfiler::onRunStart()
+{
+    inRun_ = true;
+    runStartNs_ = hostNowNs();
+}
+
+void
+SimProfiler::onRunEnd()
+{
+    const std::uint64_t end = hostNowNs();
+    if (!inRun_)
+        return;
+    inRun_ = false;
+    wallNs_ += end >= runStartNs_ ? end - runStartNs_ : 0;
+}
+
+SimProfiler::Report
+SimProfiler::report() const
+{
+    Report r;
+    r.events = events_;
+    r.scheduled = scheduled_;
+    r.drains = drains_;
+    r.wallNs = wallNs_;
+    r.eventsPerSec = wallNs_ > 0 ? static_cast<double>(events_) * 1e9 /
+                                       static_cast<double>(wallNs_)
+                                 : 0.0;
+    r.maxQueueDepth = maxQueueDepth_;
+    r.maxBatch = maxBatch_;
+    r.depthHist.assign(depthHist_, depthHist_ + kHistBins);
+    r.batchHist.assign(batchHist_, batchHist_ + kHistBins);
+
+    // Distinct string literals can carry equal text from different
+    // translation units; merge slots by name before ranking.
+    std::map<std::string, LabelCost> merged;
+    std::uint64_t attributed = 0;
+    for (const Slot &s : slots_) {
+        if (s.count == 0)
+            continue;
+        LabelCost &c = merged[s.name];
+        c.label = s.name;
+        c.minNs = c.count == 0 ? s.minNs : std::min(c.minNs, s.minNs);
+        c.maxNs = std::max(c.maxNs, s.maxNs);
+        c.count += s.count;
+        c.totalNs += s.totalNs;
+        attributed += s.totalNs;
+    }
+    for (auto &[name, cost] : merged) {
+        cost.meanNs = cost.count > 0 ? static_cast<double>(cost.totalNs) /
+                                           static_cast<double>(cost.count)
+                                     : 0.0;
+        cost.share = attributed > 0
+                         ? static_cast<double>(cost.totalNs) /
+                               static_cast<double>(attributed)
+                         : 0.0;
+        r.sources.push_back(cost);
+    }
+    std::sort(r.sources.begin(), r.sources.end(),
+              [](const LabelCost &a, const LabelCost &b) {
+                  if (a.totalNs != b.totalNs)
+                      return a.totalNs > b.totalNs;
+                  return a.label < b.label;
+              });
+    return r;
+}
+
+void
+SimProfiler::writeJson(std::ostream &os, const Report &report,
+                       const std::string &bench, std::uint64_t seed)
+{
+    char buf[256];
+    os << "{\"bench\":\"" << bench << "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"seed\":%llu,\"events\":%llu,\"wall_ns\":%llu"
+                  ",\"events_per_sec\":%.1f",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(report.events),
+                  static_cast<unsigned long long>(report.wallNs),
+                  report.eventsPerSec);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"heap_stats\":{\"pushes\":%llu,\"pops\":%llu,"
+                  "\"batches\":%llu,\"max_queue_depth\":%zu,"
+                  "\"max_batch\":%zu",
+                  static_cast<unsigned long long>(report.scheduled),
+                  static_cast<unsigned long long>(report.events),
+                  static_cast<unsigned long long>(report.drains),
+                  report.maxQueueDepth, report.maxBatch);
+    os << buf;
+    // Histograms as [bin_floor, count] pairs; zero bins elided so the
+    // row stays compact and new depth regimes are obvious in diffs.
+    const auto histogram = [&os](const char *key,
+                                 const std::vector<std::uint64_t> &bins) {
+        os << ",\"" << key << "\":[";
+        bool first = true;
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+            if (bins[b] == 0)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << "[" << binFloor(b) << "," << bins[b] << "]";
+        }
+        os << "]";
+    };
+    histogram("queue_depth_hist", report.depthHist);
+    histogram("batch_size_hist", report.batchHist);
+    os << "}";
+    os << ",\"top_sources\":[";
+    bool first = true;
+    for (const LabelCost &c : report.sources) {
+        if (!first)
+            os << ",";
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"label\":\"%s\",\"count\":%llu,"
+                      "\"total_ns\":%llu,\"min_ns\":%llu,\"max_ns\":%llu,"
+                      "\"mean_ns\":%.1f,\"share\":%.4f}",
+                      c.label.c_str(),
+                      static_cast<unsigned long long>(c.count),
+                      static_cast<unsigned long long>(c.totalNs),
+                      static_cast<unsigned long long>(c.minNs),
+                      static_cast<unsigned long long>(c.maxNs), c.meanNs,
+                      c.share);
+        os << buf;
+    }
+    os << "]}\n";
+}
+
+void
+SimProfiler::renderAscii(std::ostream &os, const Report &report,
+                         const std::string &title, std::size_t top_k)
+{
+    char buf[160];
+    os << "\n## engine profile: " << title << "\n";
+    std::snprintf(buf, sizeof(buf),
+                  "## %llu events in %.1f ms host time = %.0f events/sec "
+                  "(%llu scheduled, %llu batches)\n",
+                  static_cast<unsigned long long>(report.events),
+                  static_cast<double>(report.wallNs) / 1e6,
+                  report.eventsPerSec,
+                  static_cast<unsigned long long>(report.scheduled),
+                  static_cast<unsigned long long>(report.drains));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "## max queue depth %zu, max same-tick batch %zu\n",
+                  report.maxQueueDepth, report.maxBatch);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "## %-18s %12s %10s %10s %10s %7s\n",
+                  "source", "count", "mean(ns)", "min(ns)", "max(ns)",
+                  "share");
+    os << buf;
+    std::size_t shown = 0;
+    for (const LabelCost &c : report.sources) {
+        if (top_k > 0 && shown >= top_k)
+            break;
+        ++shown;
+        std::snprintf(buf, sizeof(buf),
+                      "## %-18s %12llu %10.1f %10llu %10llu %6.1f%%\n",
+                      c.label.c_str(),
+                      static_cast<unsigned long long>(c.count), c.meanNs,
+                      static_cast<unsigned long long>(c.minNs),
+                      static_cast<unsigned long long>(c.maxNs),
+                      c.share * 100.0);
+        os << buf;
+    }
+    if (shown < report.sources.size()) {
+        std::snprintf(buf, sizeof(buf), "## ... %zu more source(s)\n",
+                      report.sources.size() - shown);
+        os << buf;
+    }
+}
+
+} // namespace draid::telemetry

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SimProfiler: host wall-clock attribution for the simulator core.
+ *
+ * Everything else in src/telemetry/ measures *simulated* time; this class
+ * is the one instrument pointed at the engine itself. It implements the
+ * observe-only sim::EngineObserver hook and, per event label, accounts
+ * the host nanoseconds spent inside event callbacks, plus event-heap
+ * statistics (push/pop counts, queue-depth and same-tick-batch-size
+ * histograms) and overall engine throughput (events per host second).
+ *
+ * The ROADMAP item-1 speedup work compares BENCH_simcore.json artifacts
+ * produced from these reports; the numbers here are the baseline a ≥10×
+ * events/sec claim must beat.
+ *
+ * Design constraints:
+ *  - Observe-only: attaching a profiler must leave simulated output
+ *    byte-identical. The profiler never schedules events and never
+ *    touches simulation state; it only reads the hook arguments.
+ *  - Wall-clock reads live here (src/telemetry/) and nowhere else — the
+ *    draid-lint wall-clock rule enforces that the engine and components
+ *    stay host-time-free. Consequently wall-clock numbers appear only in
+ *    BENCH_simcore.json, which CI excludes from the byte-compare
+ *    determinism gate (a timing-stripped projection is compared instead).
+ */
+
+#ifndef DRAID_TELEMETRY_SIM_PROFILER_H
+#define DRAID_TELEMETRY_SIM_PROFILER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace draid::telemetry {
+
+/** Wall-clock attribution for the engine. One instance may observe many
+ *  Simulators sequentially (the bench harness reuses one across systems
+ *  under test); counters accumulate across all of them. */
+class SimProfiler final : public sim::EngineObserver
+{
+  public:
+    /** Histogram bin count: bin b holds values v with 2^b <= v < 2^(b+1),
+     *  so 24 bins cover depths up to ~16M events. */
+    static constexpr std::size_t kHistBins = 24;
+
+    /** Per-label cost row of a report. */
+    struct LabelCost
+    {
+        std::string label;
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::uint64_t minNs = 0;
+        std::uint64_t maxNs = 0;
+        double meanNs = 0.0;
+        double share = 0.0; ///< fraction of attributed event time
+    };
+
+    /** End-of-run attribution snapshot. */
+    struct Report
+    {
+        std::uint64_t events = 0;    ///< callbacks executed under a run
+        std::uint64_t scheduled = 0; ///< pushes observed
+        std::uint64_t drains = 0;    ///< same-tick batches drained
+        std::uint64_t wallNs = 0;    ///< host ns inside run()/runUntil()
+        double eventsPerSec = 0.0;   ///< events / wallNs, in Hz
+        std::size_t maxQueueDepth = 0;
+        std::size_t maxBatch = 0;
+        std::vector<std::uint64_t> depthHist; ///< kHistBins log2 bins
+        std::vector<std::uint64_t> batchHist; ///< kHistBins log2 bins
+        /** All labels (not just top-K), sorted by totalNs descending,
+         *  ties broken by label so equal-cost rows order stably. */
+        std::vector<LabelCost> sources;
+    };
+
+    /** Install this profiler as @p sim's engine observer. */
+    void attach(sim::Simulator &sim) { sim.setEngineObserver(this); }
+
+    /** Log2 histogram bin for @p v (v >= 1; 0 maps to bin 0). */
+    static std::size_t binFor(std::size_t v);
+
+    /** Lower bound of histogram bin @p b (1, 2, 4, 8, ...). */
+    static std::uint64_t binFloor(std::size_t b) { return 1ull << b; }
+
+    // sim::EngineObserver — observe-only, called from the engine.
+    void onSchedule(sim::Tick when, const char *label,
+                    std::size_t pending) override;
+    void onBatchDrain(sim::Tick when, std::size_t batch,
+                      std::size_t heap_before) override;
+    void onEventStart(sim::Tick now, const char *label) override;
+    void onEventEnd() override;
+    void onRunStart() override;
+    void onRunEnd() override;
+
+    /** Build the attribution snapshot from everything observed so far. */
+    Report report() const;
+
+    /**
+     * One BENCH_simcore.json row: {"bench","seed","events","wall_ns",
+     * "events_per_sec","heap_stats","top_sources"}. "top_sources" holds
+     * every label (cost-sorted) so a timing-stripped projection of the
+     * file — drop the *_ns / *_per_sec fields, sort labels by name — is
+     * deterministic and CI-comparable across runs.
+     */
+    static void writeJson(std::ostream &os, const Report &report,
+                          const std::string &bench, std::uint64_t seed);
+
+    /** Human report: engine totals + top-K hot sources as an ASCII table. */
+    static void renderAscii(std::ostream &os, const Report &report,
+                            const std::string &title,
+                            std::size_t top_k = 12);
+
+  private:
+    struct Slot
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::uint64_t minNs = 0;
+        std::uint64_t maxNs = 0;
+    };
+
+    /** Slot index for an event label (pointer-cached; merged by name). */
+    std::size_t slotFor(const char *label);
+
+    /** Monotonic host clock, ns. The only wall-clock read in the repo
+     *  outside FlightRecorder's crash path. */
+    static std::uint64_t hostNowNs();
+
+    std::vector<Slot> slots_;
+    std::unordered_map<const void *, std::size_t> slotIndex_;
+    const char *lastLabel_ = nullptr; ///< one-entry lookup cache
+    std::size_t lastSlot_ = 0;
+
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t events_ = 0;
+    std::uint64_t drains_ = 0;
+    std::size_t maxQueueDepth_ = 0;
+    std::size_t maxBatch_ = 0;
+    std::uint64_t depthHist_[kHistBins] = {};
+    std::uint64_t batchHist_[kHistBins] = {};
+
+    std::uint64_t wallNs_ = 0;
+    std::uint64_t runStartNs_ = 0;
+    std::uint64_t eventStartNs_ = 0;
+    std::size_t eventSlot_ = 0;
+    bool inRun_ = false;
+    bool inEvent_ = false;
+};
+
+} // namespace draid::telemetry
+
+#endif // DRAID_TELEMETRY_SIM_PROFILER_H

@@ -68,6 +68,28 @@ TEST(DraidLint, WallClockFiresAtPlantedLine)
         << r.output;
 }
 
+TEST(DraidLint, WallClockStillFiresInsideEngineObserverImpls)
+{
+    // The EngineObserver hook gives src/sim/ a seam where host-time reads
+    // would be tempting; the rule must still catch a clock read there.
+    const LintRun r = lintFixture("src/sim/engine_observer_clock.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(
+        r.output.find("src/sim/engine_observer_clock.cc:13: wall-clock:"),
+        std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, WallClockAllowsProfilerReadsInTelemetry)
+{
+    // src/telemetry/ is the exempt directory: the same steady_clock read
+    // that fires in src/sim/ is legal in a profiler implementation.
+    const LintRun r = lintFixture("src/telemetry/profiler_clock.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos)
+        << r.output;
+}
+
 TEST(DraidLint, RawRngFiresOnIncludeAndEngine)
 {
     const LintRun r = lintFixture("src/sim/raw_rng.cc");

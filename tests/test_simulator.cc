@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -121,6 +122,157 @@ TEST(Simulator, CountsExecutedEvents)
         sim.schedule(i, []() {});
     sim.run();
     EXPECT_EQ(sim.eventsExecuted(), 25u);
+}
+
+TEST(Simulator, SameTickFifoStressInterleavedScheduleVariants)
+{
+    // Interleave relative schedule(), absolute scheduleAt(), labeled and
+    // unlabeled overloads at scale; within a tick, execution must follow
+    // scheduling order exactly, regardless of which overload queued the
+    // event or how deep the same-tick batches get.
+    constexpr int kTicks = 64;
+    constexpr int kPerTick = 256;
+    Simulator sim;
+    std::vector<std::pair<Tick, int>> fired;
+    fired.reserve(static_cast<std::size_t>(kTicks) * kPerTick);
+    int seq = 0;
+    // Round-robin across ticks so the heap interleaves ticks maximally.
+    for (int j = 0; j < kPerTick; ++j) {
+        for (int t = 0; t < kTicks; ++t) {
+            const Tick when = 10 * (t + 1);
+            const int id = seq++;
+            auto fn = [&fired, &sim, id]() {
+                fired.emplace_back(sim.now(), id);
+            };
+            switch (id % 4) {
+            case 0: sim.schedule(when, std::move(fn)); break;
+            case 1: sim.schedule(when, "stress.rel", std::move(fn)); break;
+            case 2: sim.scheduleAt(when, std::move(fn)); break;
+            default: sim.scheduleAt(when, "stress.abs", std::move(fn));
+            }
+        }
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(kTicks) * kPerTick);
+    // Ticks are non-decreasing, and ids within one tick strictly increase
+    // in scheduling order.
+    std::vector<int> perTickCount(kTicks, 0);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        EXPECT_GE(fired[i].first, fired[i - 1].first);
+        if (fired[i].first == fired[i - 1].first)
+            EXPECT_GT(fired[i].second, fired[i - 1].second) << "at " << i;
+    }
+    for (const auto &[when, id] : fired) {
+        EXPECT_EQ(when, 10 * (id % kTicks + 1));
+        ++perTickCount[id % kTicks];
+    }
+    for (int t = 0; t < kTicks; ++t)
+        EXPECT_EQ(perTickCount[t], kPerTick);
+}
+
+TEST(Simulator, ExecutedPlusPendingIsConserved)
+{
+    // eventsExecuted() + pendingEvents() must equal total scheduled at
+    // every quiescent point, including while same-tick batches are only
+    // partially drained (events scheduling more events).
+    Simulator sim;
+    std::uint64_t totalScheduled = 0;
+    const auto conserved = [&]() {
+        return sim.eventsExecuted() + sim.pendingEvents() == totalScheduled;
+    };
+    for (int i = 0; i < 100; ++i) {
+        sim.schedule(i % 7, [&]() {
+            EXPECT_TRUE(conserved());
+            // Fan out from inside a batch: these land on later ticks and
+            // on this very tick (delay 0) while the batch is mid-drain.
+            for (int k = 0; k < 3; ++k) {
+                sim.schedule(k, [&]() { EXPECT_TRUE(conserved()); });
+                ++totalScheduled;
+            }
+        });
+        ++totalScheduled;
+    }
+    EXPECT_EQ(sim.pendingEvents(), 100u);
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), totalScheduled);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(totalScheduled, 400u);
+}
+
+TEST(Simulator, StopMidBatchKeepsSameTickLeftoversPending)
+{
+    // stop() from inside a same-tick batch must leave the rest of the
+    // batch pending (counted by pendingEvents) and a later run() must
+    // execute the leftovers in the original FIFO order.
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        sim.schedule(10, [&sim, &order, i]() {
+            order.push_back(i);
+            if (i == 2)
+                sim.stop();
+        });
+    sim.schedule(20, [&order]() { order.push_back(100); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sim.now(), 10);
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+    EXPECT_EQ(sim.pendingEvents(), 6u); // 5 same-tick leftovers + tick 20
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 100}));
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunUntilDoesNotExecuteLeftoverBatchPastDeadline)
+{
+    // A stop() at tick T leaves same-tick leftovers; resuming with
+    // runUntil(deadline < T) must execute none of them and must not move
+    // the clock backwards.
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 4; ++i)
+        sim.schedule(100, [&sim, &fired, i]() {
+            ++fired;
+            if (i == 0)
+                sim.stop();
+        });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 100);
+    sim.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.pendingEvents(), 3u);
+    sim.runUntil(100);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, LabeledOverloadsDoNotChangeSemantics)
+{
+    // The label is attribution-only: two simulators running the same
+    // schedule, one labeled and one not, must agree on clock, order, and
+    // counters.
+    const auto drive = [](Simulator &sim, bool labeled,
+                          std::vector<Tick> &ticks) {
+        for (int i = 0; i < 32; ++i) {
+            auto fn = [&ticks, &sim]() { ticks.push_back(sim.now()); };
+            if (labeled)
+                sim.schedule(i * 3 % 17, "labeled", std::move(fn));
+            else
+                sim.schedule(i * 3 % 17, std::move(fn));
+        }
+        sim.run();
+    };
+    Simulator plain;
+    Simulator tagged;
+    std::vector<Tick> plainTicks;
+    std::vector<Tick> taggedTicks;
+    drive(plain, false, plainTicks);
+    drive(tagged, true, taggedTicks);
+    EXPECT_EQ(plainTicks, taggedTicks);
+    EXPECT_EQ(plain.now(), tagged.now());
+    EXPECT_EQ(plain.eventsExecuted(), tagged.eventsExecuted());
 }
 
 TEST(SimulatorTime, ConversionHelpers)

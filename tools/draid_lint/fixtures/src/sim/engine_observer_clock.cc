@@ -1,0 +1,20 @@
+#include <chrono>
+
+namespace fixture {
+
+// An EngineObserver-style hook implemented inside src/sim/ must not read
+// host time: wall-clock observers belong in src/telemetry/.
+class TimingObserver
+{
+  public:
+    void
+    onEventStart()
+    {
+        start_ = std::chrono::steady_clock::now(); // violation: wall-clock
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+#include <chrono>
+
+namespace fixture {
+
+// src/telemetry/ is the one directory where host-clock reads are legal:
+// profiler implementations (telemetry::SimProfiler) live here.
+long
+profilerClock()
+{
+    auto t = std::chrono::steady_clock::now(); // allowed here
+    return t.time_since_epoch().count();
+}
+
+} // namespace fixture
