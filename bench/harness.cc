@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "telemetry/critical_path.h"
+#include "telemetry/exemplar.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/sim_profiler.h"
 #include "telemetry/timeline.h"
@@ -27,6 +28,13 @@ TelemetryOptions g_telemetry;
  */
 telemetry::SimProfiler g_simProfiler;
 
+/**
+ * Telemetry self-accounting, accumulated as each SystemUnderTest is torn
+ * down (recording-path host ns, retained heap bytes, drop counters) and
+ * written as the telemetry_overhead block of the BENCH_simcore.json row.
+ */
+telemetry::SimProfiler::TelemetryOverhead g_telemetryOverhead;
+
 /** atexit hook: write/render the engine-profile report once per process. */
 void
 saveSimcoreProfile()
@@ -37,7 +45,8 @@ saveSimcoreProfile()
         if (os)
             telemetry::SimProfiler::writeJson(os, report,
                                               g_telemetry.benchLabel,
-                                              g_telemetry.seed);
+                                              g_telemetry.seed,
+                                              &g_telemetryOverhead);
         else
             std::fprintf(stderr,
                          "warning: could not write engine profile to %s\n",
@@ -60,6 +69,9 @@ bool g_benchJsonStarted = false;
 
 /** Same truncate-then-append pattern for the timeline file. */
 bool g_timelineStarted = false;
+
+/** And for the exemplar JSONL file (one reservoir dump per system). */
+bool g_exemplarsStarted = false;
 
 /** Busy-fraction sampling period when telemetry is requested. */
 constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
@@ -84,6 +96,11 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
             opts.metricsJsonPath = arg.substr(15);
         else if (arg.rfind("--trace=", 0) == 0)
             opts.tracePath = arg.substr(8);
+        else if (arg.rfind("--trace-sample=", 0) == 0)
+            opts.traceSamplePeriod =
+                std::strtoull(arg.c_str() + 15, nullptr, 10);
+        else if (arg.rfind("--exemplars=", 0) == 0)
+            opts.exemplarsPath = arg.substr(12);
         else if (arg.rfind("--bench-json=", 0) == 0)
             opts.benchJsonPath = arg.substr(13);
         else if (arg.rfind("--timeline=", 0) == 0)
@@ -104,7 +121,8 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
         } else if (arg.rfind("--", 0) == 0)
             std::fprintf(stderr,
                          "warning: unknown flag %s (known: "
-                         "--seed= --metrics-json= --trace= --bench-json= "
+                         "--seed= --metrics-json= --trace= --trace-sample= "
+                         "--exemplars= --bench-json= "
                          "--timeline= --timeline-ascii "
                          "--breakdown --no-flight-recorder "
                          "--profile= --profile-ascii --no-profile)\n",
@@ -188,6 +206,21 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
     if (!g_telemetry.tracePath.empty() || g_telemetry.analyzer() ||
         g_telemetry.timeline())
         cluster_->tracer().setEnabled(true);
+    // Head sampling gates retention only: ids are still minted for every
+    // op and the decision is a pure hash of the id, so turning it on
+    // cannot change simulated output.
+    cluster_->tracer().setSamplePeriod(g_telemetry.traceSamplePeriod);
+    // The exemplar reservoir rides the recording stream (it needs
+    // active(), not enabled()): with the default-on flight recorder it
+    // works even in spans-off runs, and keeps whole chains for tail ops
+    // that sampling would drop from retention.
+    if (g_telemetry.exemplarCapture())
+        cluster_->telemetry().exemplars().setEnabled(true);
+    // Self-time the recording paths only when a profile was asked for;
+    // the clock reads stay inside src/telemetry/ and never influence
+    // what is recorded.
+    if (g_telemetry.profiling())
+        cluster_->tracer().setSelfTiming(true);
     if (g_telemetry.any())
         cluster_->startUtilizationSampling(kUtilSampleInterval);
     // Observe-only: attaching the engine profiler cannot perturb event
@@ -215,6 +248,55 @@ SystemUnderTest::~SystemUnderTest()
         !cluster_->telemetry().saveChromeTrace(g_telemetry.tracePath))
         std::fprintf(stderr, "warning: could not write trace to %s\n",
                      g_telemetry.tracePath.c_str());
+    if (!g_telemetry.exemplarsPath.empty()) {
+        std::ofstream os(g_telemetry.exemplarsPath,
+                         g_exemplarsStarted ? std::ios::app
+                                            : std::ios::trunc);
+        if (os) {
+            g_exemplarsStarted = true;
+            telemetry::writeExemplarsJsonl(
+                os, cluster_->telemetry().exemplars());
+        } else {
+            std::fprintf(stderr,
+                         "warning: could not write exemplars to %s\n",
+                         g_telemetry.exemplarsPath.c_str());
+        }
+    }
+
+    // A silently truncated trace misleads; one line on stderr when any
+    // retention cap dropped data (the Chrome export carries the same
+    // numbers as trace_truncation metadata).
+    const telemetry::Tracer &tr = cluster_->tracer();
+    if (tr.droppedSpans() > 0 || tr.droppedCounters() > 0)
+        std::fprintf(stderr,
+                     "warning: telemetry dropped %llu span(s), %llu "
+                     "counter sample(s) at retention caps\n",
+                     static_cast<unsigned long long>(tr.droppedSpans()),
+                     static_cast<unsigned long long>(tr.droppedCounters()));
+
+    // Fold this system's telemetry self-accounting into the process-wide
+    // overhead block (BENCH_simcore.json) and the profiler's label rows.
+    const telemetry::Telemetry &tel = cluster_->telemetry();
+    g_telemetryOverhead.hostNs += tr.spanCost().ns + tr.opCost().ns +
+                                  tr.counterCost().ns;
+    g_telemetryOverhead.retainedBytes += tel.retainedTelemetryBytes();
+    g_telemetryOverhead.spansRetained += tr.spans().size();
+    g_telemetryOverhead.spansDropped += tr.droppedSpans();
+    g_telemetryOverhead.spansSampledOut += tr.sampledOutSpans();
+    g_telemetryOverhead.countersRetained += tr.counterSamples().size();
+    g_telemetryOverhead.countersDropped += tr.droppedCounters();
+    g_telemetryOverhead.exemplars += tel.exemplars().size();
+    g_telemetryOverhead.samplePeriod = tr.samplePeriod();
+    if (g_telemetry.profiling()) {
+        g_simProfiler.addExternalCost("telemetry.trace.span",
+                                      tr.spanCost().calls,
+                                      tr.spanCost().ns);
+        g_simProfiler.addExternalCost("telemetry.trace.op",
+                                      tr.opCost().calls, tr.opCost().ns);
+        g_simProfiler.addExternalCost("telemetry.trace.counter",
+                                      tr.counterCost().calls,
+                                      tr.counterCost().ns);
+    }
 }
 
 blockdev::BlockDevice &
@@ -298,7 +380,8 @@ printBreakdownTable(SystemUnderTest &sut, const workload::FioConfig &fio,
 void
 appendBenchJsonRow(SystemUnderTest &sut, const workload::FioConfig &fio,
                    const workload::FioResult &result,
-                   const telemetry::CriticalPathReport &report)
+                   const telemetry::CriticalPathReport &report,
+                   sim::Tick job_start, sim::Tick job_end)
 {
     std::ofstream os(g_telemetry.benchJsonPath,
                      g_benchJsonStarted ? std::ios::app : std::ios::trunc);
@@ -356,6 +439,48 @@ appendBenchJsonRow(SystemUnderTest &sut, const workload::FioConfig &fio,
                       sut.cluster().nodeName(b.node).c_str(),
                       b.lane.c_str(), b.busyFraction);
         os << buf;
+    }
+    // Slowest-op verdicts: the measured job's tail exemplars, each with
+    // the dominant phase of its own span chain. Sampling cannot thin this
+    // out — the reservoir is fed at op completion, before retention.
+    const telemetry::ExemplarReservoir &res =
+        sut.cluster().telemetry().exemplars();
+    if (res.enabled()) {
+        os << ",\"slowest_ops\":[";
+        const auto slow = res.collect(job_start, job_end);
+        const std::size_t n = std::min<std::size_t>(slow.size(), 5);
+        for (std::size_t i = 0; i < n; ++i) {
+            const telemetry::ExemplarReservoir::Exemplar &e = *slow[i];
+            const telemetry::CriticalPathReport verdict =
+                telemetry::analyzeCriticalPath(e.chain);
+            const char *dominant =
+                telemetry::phaseName(telemetry::Phase::kQueue);
+            sim::Tick dominantTicks = -1;
+            if (!verdict.ops.empty()) {
+                for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+                    const sim::Tick t = verdict.ops.front().phaseTicks[p];
+                    if (t > dominantTicks) {
+                        dominantTicks = t;
+                        dominant = telemetry::phaseName(
+                            static_cast<telemetry::Phase>(p));
+                    }
+                }
+            }
+            if (i)
+                os << ",";
+            std::snprintf(buf, sizeof(buf),
+                          "{\"trace\":%llu,\"name\":\"%s\","
+                          "\"latency_us\":%.3f,\"bytes\":%llu,"
+                          "\"spans\":%zu,\"dominant\":\"%s\"}",
+                          static_cast<unsigned long long>(e.traceId),
+                          e.name.c_str(),
+                          static_cast<double>(e.latency()) /
+                              sim::kMicrosecond,
+                          static_cast<unsigned long long>(e.bytes),
+                          e.chain.size(), dominant);
+            os << buf;
+        }
+        os << "]";
     }
     os << "}\n";
 }
@@ -450,12 +575,23 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
         sut.cluster().tracer().spans().size();
     const sim::Tick job_start = sim.now();
 
+    // Streaming aggregation: the timeline is fed one op at a time as it
+    // completes (adaptive bin width), not rebuilt from retained spans —
+    // so its windowed stats stay exact even when --trace-sample= retains
+    // almost nothing, and its memory is O(bins), not O(ops).
+    telemetry::WindowedAggregator streamed(/*window_ticks=*/0);
+    if (g_telemetry.timeline())
+        sut.cluster().tracer().bindOpSink(&streamed);
+
     // The harness owns the seed (--seed=): a job must not carry its own,
     // so identical CLI invocations replay identical offset/ratio draws.
     workload::FioConfig seeded = fio;
     seeded.seed = benchSeed();
     workload::FioJob job(sim, dev, seeded);
     workload::FioResult result = job.run();
+
+    if (g_telemetry.timeline())
+        sut.cluster().tracer().bindOpSink(nullptr);
 
     // Preload-only calls (numOps <= 1) measure nothing worth reporting.
     if ((g_telemetry.analyzer() || g_telemetry.timeline()) &&
@@ -471,16 +607,16 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
             if (g_telemetry.breakdown)
                 printBreakdownTable(sut, fio, result, report);
             if (!g_telemetry.benchJsonPath.empty())
-                appendBenchJsonRow(sut, fio, result, report);
+                appendBenchJsonRow(sut, fio, result, report, job_start,
+                                   sim.now() + 1);
         }
         if (g_telemetry.timeline()) {
             const telemetry::Telemetry &tel = sut.cluster().telemetry();
             const telemetry::TimelineReport report =
                 telemetry::buildTimeline(
-                    measured,
+                    streamed,
                     tel.journal().snapshotRange(job_start, sim.now() + 1),
-                    tel.sampler().samples(), /*window_ticks=*/0,
-                    sut.cluster().hostId());
+                    tel.sampler().samples(), sut.cluster().hostId());
             if (g_telemetry.timelineAscii) {
                 std::ostringstream ss;
                 ss << "\n";

@@ -52,6 +52,18 @@ struct ArrayConfig
  *                          workloads never pick their own.
  *   --metrics-json=<path>  save a metrics + utilization snapshot
  *   --trace=<path>         enable per-op tracing, save a Chrome trace
+ *   --trace-sample=<n>     deterministic head sampling: retain spans of
+ *                          1-in-n trace ids, chosen by a seeded hash of
+ *                          the id (never the engine RNG), so the sampled
+ *                          set is byte-identical across runs and sampling
+ *                          cannot perturb the simulation. 0/1 = keep all.
+ *                          Windowed timeline stats stay exact (they are
+ *                          fed at op completion, not from retained spans).
+ *   --exemplars=<path>     capture the K slowest ops per 1 ms window —
+ *                          with their full span chains — in a bounded
+ *                          reservoir and save them as JSONL (one op per
+ *                          line with a per-phase breakdown). Also feeds
+ *                          the slowest_ops section of --bench-json rows.
  *   --breakdown            print a critical-path latency breakdown table
  *                          (phase | mean | p50 | p99 | share) plus the
  *                          bottleneck verdict after every measured job.
@@ -90,6 +102,9 @@ struct TelemetryOptions
     std::string benchJsonPath;
     std::string timelinePath;
     std::string profilePath;
+    std::string exemplarsPath;
+    /** --trace-sample=: retain 1-in-N trace ids (0/1 keeps all). */
+    std::uint64_t traceSamplePeriod = 1;
     /** Tag written into the BENCH_simcore.json row ("fig09", ...). */
     std::string benchLabel = "bench";
     bool timelineAscii = false;
@@ -119,6 +134,13 @@ struct TelemetryOptions
     bool profiling() const
     {
         return profileAscii || !profilePath.empty();
+    }
+
+    /** Whether the tail-exemplar reservoir captures slow ops: requested
+     *  explicitly, or implied by the bench-JSON slowest_ops section. */
+    bool exemplarCapture() const
+    {
+        return !exemplarsPath.empty() || analyzer();
     }
 };
 

@@ -112,7 +112,9 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
     span.start = start;
     span.end = end;
     span.args.emplace_back("bytes", std::to_string(bytes));
-    tracer.recordSpan(std::move(span));
+    // Root op span: routes through the op-completion path (streaming
+    // aggregator sink + tail-exemplar reservoir) before retention.
+    tracer.recordOpCompletion(std::move(span));
 }
 
 void

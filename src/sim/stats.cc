@@ -9,57 +9,78 @@ namespace draid::sim {
 void
 LatencyRecorder::record(Tick sample)
 {
-    samples_.push_back(sample);
+    const std::uint64_t idx = count_++;
     sum_ += sample;
+    const auto u = static_cast<unsigned __int128>(
+        static_cast<std::uint64_t>(sample));
+    sumSq_ += u * u;
+    if (count_ == 1) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    if (idx % stride_ != 0)
+        return;
+    if (samples_.size() >= kSampleCap)
+        decimate();
+    samples_.push_back(sample);
     sorted_ = false;
+}
+
+void
+LatencyRecorder::decimate()
+{
+    // Keep every 2nd retained sample. Before any percentile query the
+    // retained set is in arrival order and the survivors stay on the
+    // `idx % stride == 0` lattice; after a query it is sorted, and
+    // keeping every 2nd order statistic is an equally uniform subsample.
+    // Either way the result is a pure function of the recorded sequence
+    // and the (deterministic) query sequence.
+    std::vector<Tick> survivors;
+    survivors.reserve(samples_.size() / 2 + 1);
+    for (std::size_t i = 0; i < samples_.size(); i += 2)
+        survivors.push_back(samples_[i]);
+    samples_ = std::move(survivors);
+    stride_ *= 2;
 }
 
 Tick
 LatencyRecorder::min() const
 {
-    if (samples_.empty())
-        return 0;
-    sortIfNeeded();
-    return samples_.front();
+    return count_ == 0 ? 0 : min_;
 }
 
 Tick
 LatencyRecorder::max() const
 {
-    if (samples_.empty())
-        return 0;
-    sortIfNeeded();
-    return samples_.back();
+    return count_ == 0 ? 0 : max_;
 }
 
 double
 LatencyRecorder::mean() const
 {
-    if (samples_.empty())
+    if (count_ == 0)
         return 0.0;
-    return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+    return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 double
 LatencyRecorder::stddev() const
 {
-    const auto n = samples_.size();
+    const std::uint64_t n = count_;
     if (n < 2)
         return 0.0;
     // Exact integral moments: Var = (n·Σs² − (Σs)²) / n². Samples are
     // ticks (≤ ~2^40) so the 128-bit products cannot overflow, and the
     // single fp conversion at the edge keeps the result independent of
-    // summation order (draid-lint fp-accum).
-    unsigned __int128 sum_sq = 0;
-    for (Tick s : samples_) {
-        const auto u = static_cast<unsigned __int128>(
-            static_cast<std::uint64_t>(s));
-        sum_sq += u * u;
-    }
+    // summation order (draid-lint fp-accum). The running sumSq_ covers
+    // every recorded sample, so stddev stays exact under decimation.
     const auto sum = static_cast<unsigned __int128>(
         static_cast<std::uint64_t>(sum_));
     const unsigned __int128 num =
-        static_cast<unsigned __int128>(n) * sum_sq - sum * sum;
+        static_cast<unsigned __int128>(n) * sumSq_ - sum * sum;
     return std::sqrt(static_cast<double>(num)) / static_cast<double>(n);
 }
 
@@ -69,13 +90,14 @@ LatencyRecorder::percentile(double p) const
     if (samples_.empty())
         return 0;
     assert(p >= 0.0 && p <= 100.0);
-    sortIfNeeded();
-    // The extremes are exact by definition; nearest-rank rounding must not
-    // shift them onto a neighbouring sample.
+    // The extremes are exact running aggregates — decimation must not
+    // lose the true min/max — and nearest-rank rounding must not shift
+    // them onto a neighbouring sample.
     if (p <= 0.0)
-        return samples_.front();
+        return min_;
     if (p >= 100.0)
-        return samples_.back();
+        return max_;
+    sortIfNeeded();
     const auto n = samples_.size();
     // The epsilon absorbs floating-point noise in p/100*n (e.g. 0.999*1000
     // = 999.0000000000001) that would otherwise bump the rank past an
@@ -93,6 +115,11 @@ LatencyRecorder::clear()
 {
     samples_.clear();
     sum_ = 0;
+    sumSq_ = 0;
+    count_ = 0;
+    stride_ = 1;
+    min_ = 0;
+    max_ = 0;
     sorted_ = true;
 }
 

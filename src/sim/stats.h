@@ -16,16 +16,34 @@ namespace draid::sim {
 
 /**
  * Records a distribution of latencies (in ticks) and computes summary
- * statistics. Samples are kept in full; evaluation runs record at most a
- * few hundred thousand operations.
+ * statistics with memory bounded independent of sample count: count, sum,
+ * sum-of-squares, min and max are exact running aggregates, while the
+ * retained sample set — used only for interior percentiles — is capped at
+ * kSampleCap and decimated in place on overflow (keep 1-in-stride, stride
+ * doubled). Every decision is a pure function of the recorded sequence,
+ * so results stay byte-identical across runs.
  */
 class LatencyRecorder
 {
   public:
+    /** Retained samples before stride decimation kicks in. */
+    static constexpr std::size_t kSampleCap = 262'144;
+
     /** Add one sample. */
     void record(Tick sample);
 
-    std::size_t count() const { return samples_.size(); }
+    /** Samples recorded (exact, independent of retention). */
+    std::size_t count() const { return static_cast<std::size_t>(count_); }
+    /** Samples currently retained for percentile queries. */
+    std::size_t retainedSamples() const { return samples_.size(); }
+    /** Samples dropped by decimation (aggregates stay exact). */
+    std::uint64_t droppedSamples() const
+    {
+        return count_ - samples_.size();
+    }
+    /** Current keep stride (1 until the cap is first hit). */
+    std::uint64_t sampleStride() const { return stride_; }
+
     Tick min() const;
     Tick max() const;
 
@@ -51,10 +69,17 @@ class LatencyRecorder
 
   private:
     void sortIfNeeded() const;
+    /** Halve the retained set (keep every 2nd, stride doubling). */
+    void decimate();
 
     std::vector<Tick> samples_;
     mutable bool sorted_ = true;
     Tick sum_ = 0;
+    unsigned __int128 sumSq_ = 0; ///< exact second moment (stddev)
+    std::uint64_t count_ = 0;
+    std::uint64_t stride_ = 1;
+    Tick min_ = 0;
+    Tick max_ = 0;
 };
 
 /**

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic head sampling of per-op traces.
+ *
+ * At scale the tracer cannot retain every span: a 1M-op run at ~20 spans
+ * per op is 20M spans, and the 4M span cap silently discards the *end* of
+ * the run — exactly the region a regression investigation needs. Head
+ * sampling keeps a uniform 1-in-N subset of trace ids instead, chosen the
+ * moment the id is minted, so every span of a kept op is retained and
+ * every span of a dropped op is skipped (a trace is useful whole or not
+ * at all).
+ *
+ * The keep decision is a pure function of the trace id: a fixed-seed
+ * splitmix64-style finalizer hashes the id and keeps it when the hash
+ * falls in the bottom 1/N of the 64-bit space. Three properties follow by
+ * construction, and the determinism CI gates rely on all of them:
+ *
+ *  - No draws from the simulation's seeded RNG (the draid-lint raw-rng
+ *    rule bans the engine RNG from src/telemetry/ entirely), so enabling
+ *    sampling cannot shift any random sequence the simulation consumes.
+ *  - No run state: the decision depends on nothing but the id, so the
+ *    sampled id set is byte-identical across runs, across sample-period
+ *    changes of *other* telemetry, and across machines.
+ *  - Nested: the ids kept at period 2N are a subset of those kept at
+ *    period N (threshold halves), so coarser runs stay comparable to
+ *    finer ones.
+ *
+ * Id 0 (spans not tied to a user op) is always kept: those are rare,
+ * structural, and never the memory problem sampling exists to solve.
+ */
+
+#ifndef DRAID_TELEMETRY_SAMPLING_H
+#define DRAID_TELEMETRY_SAMPLING_H
+
+#include <cstdint>
+
+namespace draid::telemetry {
+
+/**
+ * splitmix64 finalizer over the trace id. Fixed constants (Steele et al.,
+ * the standard splitmix64 mix) — deliberately NOT configurable, so two
+ * builds can never disagree about which ids a period keeps.
+ */
+inline std::uint64_t
+traceSampleHash(std::uint64_t id)
+{
+    std::uint64_t z = id + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Keep decision for @p id at sample period @p period (1-in-period kept).
+ * Period 0 and 1 keep everything; id 0 is always kept.
+ */
+inline bool
+traceSampled(std::uint64_t id, std::uint64_t period)
+{
+    if (period <= 1 || id == 0)
+        return true;
+    // Keep when the hash lands in the bottom 1/period of the hash space.
+    // Integer division keeps the threshold exact; the subset-nesting
+    // property (period 2N ⊂ period N) follows from threshold monotonicity.
+    return traceSampleHash(id) < (~0ull / period);
+}
+
+} // namespace draid::telemetry
+
+#endif // DRAID_TELEMETRY_SAMPLING_H

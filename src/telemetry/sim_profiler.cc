@@ -115,6 +115,15 @@ SimProfiler::onRunEnd()
     wallNs_ += end >= runStartNs_ ? end - runStartNs_ : 0;
 }
 
+void
+SimProfiler::addExternalCost(const std::string &label, std::uint64_t count,
+                             std::uint64_t total_ns)
+{
+    if (count == 0)
+        return;
+    externals_.push_back(Slot{label, count, total_ns, 0, 0});
+}
+
 SimProfiler::Report
 SimProfiler::report() const
 {
@@ -135,16 +144,27 @@ SimProfiler::report() const
     // translation units; merge slots by name before ranking.
     std::map<std::string, LabelCost> merged;
     std::uint64_t attributed = 0;
-    for (const Slot &s : slots_) {
-        if (s.count == 0)
-            continue;
+    const auto fold = [&merged](const Slot &s) {
         LabelCost &c = merged[s.name];
         c.label = s.name;
         c.minNs = c.count == 0 ? s.minNs : std::min(c.minNs, s.minNs);
         c.maxNs = std::max(c.maxNs, s.maxNs);
         c.count += s.count;
         c.totalNs += s.totalNs;
+    };
+    for (const Slot &s : slots_) {
+        if (s.count == 0)
+            continue;
+        fold(s);
         attributed += s.totalNs;
+    }
+    // External rows (telemetry.* self-timing) rank alongside engine
+    // labels but stay out of the denominator: their ns were spent inside
+    // event callbacks and are already counted under the enclosing label.
+    for (const Slot &s : externals_) {
+        if (s.count == 0)
+            continue;
+        fold(s);
     }
     for (auto &[name, cost] : merged) {
         cost.meanNs = cost.count > 0 ? static_cast<double>(cost.totalNs) /
@@ -167,7 +187,8 @@ SimProfiler::report() const
 
 void
 SimProfiler::writeJson(std::ostream &os, const Report &report,
-                       const std::string &bench, std::uint64_t seed)
+                       const std::string &bench, std::uint64_t seed,
+                       const TelemetryOverhead *overhead)
 {
     char buf[256];
     os << "{\"bench\":\"" << bench << "\"";
@@ -207,6 +228,35 @@ SimProfiler::writeJson(std::ostream &os, const Report &report,
     histogram("queue_depth_hist", report.depthHist);
     histogram("batch_size_hist", report.batchHist);
     os << "}";
+    {
+        static const TelemetryOverhead kZero;
+        const TelemetryOverhead &t = overhead != nullptr ? *overhead
+                                                         : kZero;
+        const double hostShare =
+            report.wallNs > 0 ? static_cast<double>(t.hostNs) /
+                                    static_cast<double>(report.wallNs)
+                              : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"telemetry_overhead\":{\"host_ns\":%llu,"
+                      "\"host_share\":%.4f,\"retained_bytes\":%llu,"
+                      "\"spans_retained\":%llu,\"spans_dropped\":%llu,"
+                      "\"spans_sampled_out\":%llu",
+                      static_cast<unsigned long long>(t.hostNs), hostShare,
+                      static_cast<unsigned long long>(t.retainedBytes),
+                      static_cast<unsigned long long>(t.spansRetained),
+                      static_cast<unsigned long long>(t.spansDropped),
+                      static_cast<unsigned long long>(t.spansSampledOut));
+        os << buf;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"counters_retained\":%llu,"
+                      "\"counters_dropped\":%llu,\"exemplars\":%llu,"
+                      "\"sample_period\":%llu}",
+                      static_cast<unsigned long long>(t.countersRetained),
+                      static_cast<unsigned long long>(t.countersDropped),
+                      static_cast<unsigned long long>(t.exemplars),
+                      static_cast<unsigned long long>(t.samplePeriod));
+        os << buf;
+    }
     os << ",\"top_sources\":[";
     bool first = true;
     for (const LabelCost &c : report.sources) {

@@ -95,18 +95,47 @@ class SimProfiler final : public sim::EngineObserver
     void onRunStart() override;
     void onRunEnd() override;
 
+    /**
+     * Fold in a cost measured outside the engine-observer hooks — the
+     * telemetry.* self-timing rows (Tracer::SelfCost). External rows are
+     * ranked alongside engine labels but excluded from the share
+     * denominator: telemetry recording runs *inside* event callbacks, so
+     * its ns are already attributed to the enclosing label, and its share
+     * reads as "fraction of attributed event time spent recording".
+     */
+    void addExternalCost(const std::string &label, std::uint64_t count,
+                         std::uint64_t total_ns);
+
     /** Build the attribution snapshot from everything observed so far. */
     Report report() const;
 
+    /** The bench-row telemetry_overhead block: what observability itself
+     *  cost, in host ns and retained heap bytes. */
+    struct TelemetryOverhead
+    {
+        std::uint64_t hostNs = 0; ///< self-timed recording-path ns
+        std::uint64_t retainedBytes = 0;
+        std::uint64_t spansRetained = 0;
+        std::uint64_t spansDropped = 0;
+        std::uint64_t spansSampledOut = 0;
+        std::uint64_t countersRetained = 0;
+        std::uint64_t countersDropped = 0;
+        std::uint64_t exemplars = 0;
+        std::uint64_t samplePeriod = 1;
+    };
+
     /**
      * One BENCH_simcore.json row: {"bench","seed","events","wall_ns",
-     * "events_per_sec","heap_stats","top_sources"}. "top_sources" holds
-     * every label (cost-sorted) so a timing-stripped projection of the
-     * file — drop the *_ns / *_per_sec fields, sort labels by name — is
-     * deterministic and CI-comparable across runs.
+     * "events_per_sec","heap_stats","telemetry_overhead","top_sources"}.
+     * "top_sources" holds every label (cost-sorted) so a timing-stripped
+     * projection of the file — drop the *_ns / *_per_sec / host-time
+     * fields, sort labels by name — is deterministic and CI-comparable
+     * across runs. The telemetry_overhead block is always present (all
+     * zeros when @p overhead is null) so consumers can key on it.
      */
     static void writeJson(std::ostream &os, const Report &report,
-                          const std::string &bench, std::uint64_t seed);
+                          const std::string &bench, std::uint64_t seed,
+                          const TelemetryOverhead *overhead = nullptr);
 
     /** Human report: engine totals + top-K hot sources as an ASCII table. */
     static void renderAscii(std::ostream &os, const Report &report,
@@ -131,6 +160,7 @@ class SimProfiler final : public sim::EngineObserver
     static std::uint64_t hostNowNs();
 
     std::vector<Slot> slots_;
+    std::vector<Slot> externals_; ///< addExternalCost rows
     std::unordered_map<const void *, std::size_t> slotIndex_;
     const char *lastLabel_ = nullptr; ///< one-entry lookup cache
     std::size_t lastSlot_ = 0;

@@ -38,6 +38,17 @@ UtilizationSampler::onClockAdvance(sim::Tick now)
     // busy counters include committed (future) occupancy, so clamp.
     const sim::Tick boundary =
         nextSample_ + ((now - nextSample_) / interval_) * interval_;
+    ++rounds_;
+    if (emitStride_ > 1 && (rounds_ - 1) % emitStride_ != 0) {
+        // Skipped boundary: no emission, but the window since lastEmit_
+        // keeps accumulating, so the next emitted round covers it.
+        droppedSamples_ += sources_.size();
+        nextSample_ = boundary + interval_;
+        return;
+    }
+    if (!sources_.empty() &&
+        samples_.size() + sources_.size() > sampleCap_)
+        mergeSampleRounds();
     const sim::Tick window = boundary - lastEmit_;
     for (auto &src : sources_) {
         const sim::Tick busyNow = src.busy();
@@ -54,6 +65,45 @@ UtilizationSampler::onClockAdvance(sim::Tick now)
     }
     lastEmit_ = boundary;
     nextSample_ = boundary + interval_;
+}
+
+void
+UtilizationSampler::mergeSampleRounds()
+{
+    // Samples arrive in whole rounds of sources_.size(); merge adjacent
+    // round pairs (mean value over the doubled window, stamped at the
+    // later boundary) and skip every 2nd future boundary to match.
+    const std::size_t perRound = sources_.size();
+    const std::size_t numRounds = samples_.size() / perRound;
+    if (numRounds < 2)
+        return; // cap smaller than one round: nothing left to halve
+    std::vector<Sample> merged;
+    merged.reserve(samples_.size() / 2 + perRound);
+    std::size_t r = 0;
+    for (; r + 1 < numRounds; r += 2) {
+        for (std::size_t s = 0; s < perRound; ++s) {
+            Sample out = samples_[(r + 1) * perRound + s];
+            out.value =
+                (samples_[r * perRound + s].value + out.value) / 2.0;
+            merged.push_back(std::move(out));
+        }
+        droppedSamples_ += perRound;
+    }
+    for (; r < numRounds; ++r) { // odd trailing round survives as-is
+        for (std::size_t s = 0; s < perRound; ++s)
+            merged.push_back(std::move(samples_[r * perRound + s]));
+    }
+    samples_ = std::move(merged);
+    emitStride_ *= 2;
+}
+
+std::uint64_t
+UtilizationSampler::retainedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const Sample &s : samples_)
+        bytes += sizeof(Sample) + s.name.size();
+    return bytes;
 }
 
 namespace {
@@ -115,6 +165,15 @@ Telemetry::writeMetricsJson(std::ostream &os) const
         os << "]}";
     }
     os << "]}";
+}
+
+std::uint64_t
+Telemetry::retainedTelemetryBytes() const
+{
+    return tracer_.retainedBytes() + exemplars_.retainedBytes() +
+           sampler_.retainedBytes() +
+           recorder_.size() * sizeof(FlightRecorder::Record) +
+           journal_.size() * sizeof(EventJournal::Event);
 }
 
 bool

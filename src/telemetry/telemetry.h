@@ -19,6 +19,7 @@
 
 #include "sim/simulator.h"
 #include "telemetry/event_journal.h"
+#include "telemetry/exemplar.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -64,6 +65,29 @@ class UtilizationSampler
     /** Sampler hook, exposed for tests; called by the clock observer. */
     void onClockAdvance(sim::Tick now);
 
+    /** Default bound on retained samples (all sources together). */
+    static constexpr std::size_t kDefaultSampleCap = 65'536;
+
+    /**
+     * Bound on retained samples. Hitting it halves resolution instead of
+     * truncating: retained rounds are merged pairwise (values averaged
+     * over the doubled window) and every 2nd future boundary is skipped,
+     * so coverage stays end-to-end and memory stays O(cap). The busy-tick
+     * window math self-corrects across skipped boundaries (a skipped
+     * round's busy ticks are charged to the next emitted window).
+     */
+    void setSampleCap(std::size_t cap)
+    {
+        sampleCap_ = cap == 0 ? 1 : cap;
+    }
+    /** Samples lost to round merging or boundary skipping. */
+    std::uint64_t droppedSamples() const { return droppedSamples_; }
+    /** Current boundary emit stride (1 until the cap is first hit). */
+    std::uint64_t emitStride() const { return emitStride_; }
+
+    /** Approximate heap bytes retained (size-based, deterministic). */
+    std::uint64_t retainedBytes() const;
+
   private:
     struct Source
     {
@@ -73,11 +97,18 @@ class UtilizationSampler
         sim::Tick lastBusy = 0;
     };
 
+    /** Merge retained rounds pairwise and double the emit stride. */
+    void mergeSampleRounds();
+
     std::vector<Source> sources_;
     std::vector<Sample> samples_;
     sim::Tick interval_ = 0;
     sim::Tick nextSample_ = 0;
     sim::Tick lastEmit_ = 0;
+    std::size_t sampleCap_ = kDefaultSampleCap;
+    std::uint64_t emitStride_ = 1;
+    std::uint64_t rounds_ = 0; ///< interval boundaries reached
+    std::uint64_t droppedSamples_ = 0;
     Tracer *tracer_ = nullptr;
 };
 
@@ -90,7 +121,11 @@ class Telemetry
      * to be always-on, and an abnormal event (abort, op timeout, failed
      * assertion) can then always produce a post-mortem.
      */
-    Telemetry() { tracer_.bindFlightRecorder(&recorder_); }
+    Telemetry()
+    {
+        tracer_.bindFlightRecorder(&recorder_);
+        tracer_.bindExemplars(&exemplars_);
+    }
 
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
@@ -102,6 +137,18 @@ class Telemetry
     const FlightRecorder &flightRecorder() const { return recorder_; }
     EventJournal &journal() { return journal_; }
     const EventJournal &journal() const { return journal_; }
+    /** Tail-exemplar reservoir (disabled until the harness enables it). */
+    ExemplarReservoir &exemplars() { return exemplars_; }
+    const ExemplarReservoir &exemplars() const { return exemplars_; }
+
+    /**
+     * Approximate heap bytes retained across every telemetry store
+     * (tracer spans/counters/pending chains, exemplars, sampler rounds,
+     * flight-recorder ring, journal ring). Size-based and a pure function
+     * of recorded telemetry, so deterministic across runs — this is the
+     * retained_bytes figure in the bench JSON's telemetry_overhead block.
+     */
+    std::uint64_t retainedTelemetryBytes() const;
 
     /** Root scope; components derive their own via scope("node3") etc. */
     MetricScope root() { return MetricScope(metrics_, ""); }
@@ -124,6 +171,7 @@ class Telemetry
     UtilizationSampler sampler_;
     FlightRecorder recorder_;
     EventJournal journal_;
+    ExemplarReservoir exemplars_;
 };
 
 } // namespace draid::telemetry

@@ -51,18 +51,88 @@ num(double v, int precision = 3)
 } // namespace
 
 WindowedAggregator::WindowedAggregator(sim::Tick window_ticks)
-    : windowTicks_(std::max<sim::Tick>(window_ticks, 1))
+    : windowTicks_(window_ticks <= 0 ? kAutoBaseTicks
+                                     : std::max<sim::Tick>(window_ticks, 1)),
+      adaptive_(window_ticks <= 0)
 {
+}
+
+void
+WindowedAggregator::decimateBin(Accum &bin, std::uint64_t &dropped)
+{
+    // Retained samples sit at arrival indices 0, stride, 2*stride, ...;
+    // keeping the even positions leaves exactly the multiples of the
+    // doubled stride, so `seen % stride == 0` stays the keep test.
+    std::vector<sim::Tick> survivors;
+    survivors.reserve(bin.latencies.size() / 2 + 1);
+    for (std::size_t i = 0; i < bin.latencies.size(); ++i) {
+        if (i % 2 == 0)
+            survivors.push_back(bin.latencies[i]);
+        else
+            ++dropped;
+    }
+    bin.latencies = std::move(survivors);
+    bin.stride *= 2;
 }
 
 void
 WindowedAggregator::addOp(sim::Tick end, sim::Tick latency,
                           std::uint64_t bytes)
 {
+    if (adaptive_) {
+        // Widen until this op's bin fits inside the kMaxBins budget
+        // spanned from the earliest bin.
+        while (!bins_.empty()) {
+            const std::int64_t idx = end / windowTicks_;
+            const std::int64_t lo =
+                std::min(idx, bins_.begin()->first);
+            const std::int64_t hi =
+                std::max(idx, bins_.rbegin()->first);
+            if (static_cast<std::uint64_t>(hi - lo) <
+                static_cast<std::uint64_t>(kMaxBins))
+                break;
+            widenBins();
+        }
+    }
     Accum &bin = bins_[end / windowTicks_];
     bin.bytes += bytes;
-    bin.latencies.push_back(latency);
+    ++bin.ops;
+    if (bin.seen % bin.stride == 0) {
+        if (bin.latencies.size() >= kLatencySampleCap)
+            decimateBin(bin, droppedSamples_);
+        bin.latencies.push_back(latency);
+    } else {
+        ++droppedSamples_;
+    }
+    ++bin.seen;
     ++opsAdded_;
+}
+
+void
+WindowedAggregator::widenBins()
+{
+    std::map<std::int64_t, Accum> merged;
+    for (auto &[idx, bin] : bins_) {
+        Accum &dst = merged[idx >= 0 ? idx / 2 : (idx - 1) / 2];
+        if (dst.ops == 0) {
+            dst = std::move(bin);
+            continue;
+        }
+        dst.bytes += bin.bytes;
+        dst.ops += bin.ops;
+        dst.seen += bin.seen;
+        // Pooling two decimated subsamples biases toward the
+        // lower-stride half; acceptable — the totals stay exact and the
+        // percentiles are documented as approximate once decimation has
+        // kicked in.
+        dst.stride = std::max(dst.stride, bin.stride);
+        dst.latencies.insert(dst.latencies.end(), bin.latencies.begin(),
+                             bin.latencies.end());
+        while (dst.latencies.size() > kLatencySampleCap)
+            decimateBin(dst, droppedSamples_);
+    }
+    bins_ = std::move(merged);
+    windowTicks_ *= 2;
 }
 
 void
@@ -86,26 +156,22 @@ WindowedAggregator::finalize() const
 }
 
 std::vector<TimelineWindow>
-WindowedAggregator::finalize(sim::Tick from, sim::Tick to) const
+WindowedAggregator::makeWindows(const std::map<std::int64_t, Accum> &bins,
+                                sim::Tick window_ticks, std::int64_t first,
+                                std::int64_t last)
 {
-    std::int64_t first = from / windowTicks_;
-    std::int64_t last = to <= from ? first : (to - 1) / windowTicks_;
-    if (!bins_.empty()) {
-        first = std::min(first, bins_.begin()->first);
-        last = std::max(last, bins_.rbegin()->first);
-    }
     std::vector<TimelineWindow> out;
     out.reserve(static_cast<std::size_t>(last - first + 1));
     const double windowSec =
-        static_cast<double>(windowTicks_) / (sim::kMillisecond * 1000.0);
+        static_cast<double>(window_ticks) / (sim::kMillisecond * 1000.0);
     for (std::int64_t idx = first; idx <= last; ++idx) {
         TimelineWindow w;
-        w.start = idx * windowTicks_;
-        auto it = bins_.find(idx);
-        if (it != bins_.end()) {
+        w.start = idx * window_ticks;
+        auto it = bins.find(idx);
+        if (it != bins.end()) {
             std::vector<sim::Tick> lat = it->second.latencies;
             std::sort(lat.begin(), lat.end());
-            w.ops = lat.size();
+            w.ops = it->second.ops;
             w.bytes = it->second.bytes;
             w.goodputMBps =
                 static_cast<double>(w.bytes) / 1e6 / windowSec;
@@ -116,6 +182,69 @@ WindowedAggregator::finalize(sim::Tick from, sim::Tick to) const
         out.push_back(std::move(w));
     }
     return out;
+}
+
+std::vector<TimelineWindow>
+WindowedAggregator::finalize(sim::Tick from, sim::Tick to) const
+{
+    std::int64_t first = from / windowTicks_;
+    std::int64_t last = to <= from ? first : (to - 1) / windowTicks_;
+    if (!bins_.empty()) {
+        first = std::min(first, bins_.begin()->first);
+        last = std::max(last, bins_.rbegin()->first);
+    }
+    return makeWindows(bins_, windowTicks_, first, last);
+}
+
+WindowedAggregator::Coalesced
+WindowedAggregator::coalesce(std::size_t max_windows) const
+{
+    Coalesced out;
+    out.windowTicks = windowTicks_;
+    if (bins_.empty() || max_windows == 0)
+        return out;
+    const std::int64_t first = bins_.begin()->first;
+    const std::int64_t last = bins_.rbegin()->first;
+    const auto span = static_cast<std::uint64_t>(last - first + 1);
+    const std::uint64_t factor =
+        (span + max_windows - 1) / max_windows;
+    if (factor <= 1) {
+        out.windows = makeWindows(bins_, windowTicks_, first, last);
+        return out;
+    }
+    // Merge each run of `factor` adjacent bins. Grouping by idx/factor
+    // (floor toward -inf) keeps window starts on multiples of the merged
+    // width, matching how a wider aggregator would have binned.
+    std::map<std::int64_t, Accum> merged;
+    std::uint64_t dropped = 0;
+    const auto f = static_cast<std::int64_t>(factor);
+    for (const auto &[idx, bin] : bins_) {
+        const std::int64_t g = idx >= 0 ? idx / f : (idx - f + 1) / f;
+        Accum &dst = merged[g];
+        dst.bytes += bin.bytes;
+        dst.ops += bin.ops;
+        dst.seen += bin.seen;
+        dst.stride = std::max(dst.stride, bin.stride);
+        dst.latencies.insert(dst.latencies.end(), bin.latencies.begin(),
+                             bin.latencies.end());
+        while (dst.latencies.size() > kLatencySampleCap)
+            decimateBin(dst, dropped);
+    }
+    out.windowTicks = windowTicks_ * f;
+    out.windows = makeWindows(merged, out.windowTicks,
+                              merged.begin()->first,
+                              merged.rbegin()->first);
+    return out;
+}
+
+std::uint64_t
+WindowedAggregator::retainedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[idx, bin] : bins_)
+        bytes += sizeof(Accum) + sizeof(std::int64_t) +
+                 bin.latencies.size() * sizeof(sim::Tick);
+    return bytes;
 }
 
 std::vector<UtilizationSeries>
@@ -259,6 +388,36 @@ buildTimeline(const std::vector<TraceSpan> &spans,
     report.windowTicks = agg.windowTicks();
     report.windows = agg.finalize();
     report.startTick = report.windows.empty() ? 0 : report.windows.front().start;
+    const sim::Tick endTick = report.startTick
+        + static_cast<sim::Tick>(report.windows.size()) * report.windowTicks;
+
+    for (const EventJournal::Event &e : events) {
+        if (e.tick >= report.startTick && e.tick < endTick)
+            report.events.push_back(e);
+    }
+    report.utilization = binUtilization(samples, report.startTick,
+                                        report.windowTicks,
+                                        report.windows.size());
+    report.health =
+        detectHealth(report.windows, report.utilization, host_node);
+    return report;
+}
+
+TimelineReport
+buildTimeline(const WindowedAggregator &agg,
+              const std::vector<EventJournal::Event> &events,
+              const std::vector<UtilizationSampler::Sample> &samples,
+              sim::NodeId host_node)
+{
+    TimelineReport report;
+    if (agg.opsAdded() == 0)
+        return report; // no ops streamed in
+
+    const WindowedAggregator::Coalesced c = agg.coalesce(64);
+    report.windowTicks = c.windowTicks;
+    report.windows = c.windows;
+    report.startTick =
+        report.windows.empty() ? 0 : report.windows.front().start;
     const sim::Tick endTick = report.startTick
         + static_cast<sim::Tick>(report.windows.size()) * report.windowTicks;
 

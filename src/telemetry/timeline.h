@@ -77,11 +77,31 @@ struct HealthFlags
  * (end tick, latency, bytes) triples or a recorded span stream; windows
  * between the first and last completion that saw no ops still appear
  * (zero-filled) so stalls stay visible.
+ *
+ * Built to be fed *incrementally* at op completion (it implements
+ * OpCompletionSink), with memory bounded independent of op count:
+ *  - op and byte totals per bin are exact, always;
+ *  - per-bin latency samples are capped (kLatencySampleCap); on overflow
+ *    the retained set is decimated in place (keep 1-in-stride, stride
+ *    doubled), so percentiles degrade gracefully to a deterministic
+ *    uniform subsample instead of truncating the tail;
+ *  - with window_ticks == 0 the bin width adapts to the (unknown) run
+ *    length: it starts at 1 us and doubles — merging bins pairwise —
+ *    whenever the bin span would exceed kMaxBins.
+ * Every decision is a pure function of the fed sequence: no RNG, no
+ * clock, byte-identical across runs.
  */
-class WindowedAggregator
+class WindowedAggregator : public OpCompletionSink
 {
   public:
-    /** @param window_ticks bin width; must be > 0 */
+    /** Retained latency samples per bin before stride decimation. */
+    static constexpr std::size_t kLatencySampleCap = 512;
+    /** Bin budget in adaptive (window_ticks == 0) mode. */
+    static constexpr std::size_t kMaxBins = 256;
+    /** Adaptive mode's starting bin width. */
+    static constexpr sim::Tick kAutoBaseTicks = sim::kMicrosecond;
+
+    /** @param window_ticks bin width; 0 selects the adaptive mode */
     explicit WindowedAggregator(sim::Tick window_ticks);
 
     sim::Tick windowTicks() const { return windowTicks_; }
@@ -89,6 +109,12 @@ class WindowedAggregator
 
     /** Record one completed op. */
     void addOp(sim::Tick end, sim::Tick latency, std::uint64_t bytes);
+
+    /** OpCompletionSink: stream one completed root op in. */
+    void onOpComplete(const TraceSpan &root, std::uint64_t bytes) override
+    {
+        addOp(root.end, root.end - root.start, bytes);
+    }
 
     /**
      * Record every root op from a span stream: spans on the "op" lane,
@@ -100,22 +126,54 @@ class WindowedAggregator
     /**
      * Produce the contiguous window series covering every added op
      * (empty if none were added). Goodput/IOPS use the window width as
-     * the denominator; percentiles use the nearest-rank method.
+     * the denominator; percentiles use the nearest-rank method over the
+     * retained (possibly decimated) samples; ops/bytes are exact.
      */
     std::vector<TimelineWindow> finalize() const;
 
     /** As finalize(), but covering at least [from, to). */
     std::vector<TimelineWindow> finalize(sim::Tick from, sim::Tick to) const;
 
+    /** finalize() re-binned so at most @p max_windows windows remain
+     *  (adjacent bins merged by an integral factor). */
+    struct Coalesced
+    {
+        sim::Tick windowTicks = 0;
+        std::vector<TimelineWindow> windows;
+    };
+    Coalesced coalesce(std::size_t max_windows) const;
+
+    /** Latency samples dropped by per-bin decimation (totals stay exact). */
+    std::uint64_t droppedLatencySamples() const { return droppedSamples_; }
+
+    /** Approximate heap bytes retained (size-based, deterministic). */
+    std::uint64_t retainedBytes() const;
+
   private:
     struct Accum
     {
         std::uint64_t bytes = 0;
-        std::vector<sim::Tick> latencies;
+        std::uint64_t ops = 0; ///< exact, even when samples are decimated
+        std::vector<sim::Tick> latencies; ///< 1-in-stride retained subset
+        std::uint64_t stride = 1;
+        std::uint64_t seen = 0; ///< samples offered to this bin
     };
 
+    /** Decimate one bin to half its retained samples (stride doubling). */
+    static void decimateBin(Accum &bin, std::uint64_t &dropped);
+    /** Adaptive mode: double the bin width, merging bins pairwise. */
+    void widenBins();
+    /** Window series for an arbitrary bin map (shared by finalize and
+     *  coalesce). */
+    static std::vector<TimelineWindow>
+    makeWindows(const std::map<std::int64_t, Accum> &bins,
+                sim::Tick window_ticks, std::int64_t first,
+                std::int64_t last);
+
     sim::Tick windowTicks_;
+    bool adaptive_ = false;
     std::uint64_t opsAdded_ = 0;
+    std::uint64_t droppedSamples_ = 0;
     std::map<std::int64_t, Accum> bins_; ///< window index -> accum
 };
 
@@ -161,6 +219,18 @@ TimelineReport buildTimeline(const std::vector<TraceSpan> &spans,
                              const std::vector<UtilizationSampler::Sample>
                                  &samples,
                              sim::Tick window_ticks, sim::NodeId host_node);
+
+/**
+ * As above, but from an incrementally-fed aggregator instead of a
+ * retained span stream — the scale path: windowed stats stay exact (the
+ * sink saw every completion) even when trace sampling retains almost no
+ * spans. The aggregator's bins are coalesced to at most ~64 windows.
+ */
+TimelineReport buildTimeline(const WindowedAggregator &agg,
+                             const std::vector<EventJournal::Event> &events,
+                             const std::vector<UtilizationSampler::Sample>
+                                 &samples,
+                             sim::NodeId host_node);
 
 /** One JSON object (windows + events + utilization + health), no newline. */
 void writeTimelineJson(std::ostream &os, const TimelineReport &report);

@@ -1,19 +1,58 @@
 #include "telemetry/trace.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
+#include "telemetry/exemplar.h"
+
 namespace draid::telemetry {
 
-void
-Tracer::recordSpan(TraceSpan span)
+namespace {
+
+/** Monotonic host clock for self-timing. Wall-clock reads are legal in
+ *  src/telemetry/ (lint-exempt) and never influence what is recorded. */
+std::uint64_t
+selfNowNs()
 {
-    if (recorder_)
-        recorder_->record(span);
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+spanBytesArg(const TraceSpan &span)
+{
+    for (const auto &[key, value] : span.args) {
+        if (key == "bytes")
+            return std::strtoull(value.c_str(), nullptr, 10);
+    }
+    return 0;
+}
+
+} // namespace
+
+void
+Tracer::ingestSpan(TraceSpan span, bool completion)
+{
+    // Sub-spans of in-flight ops are buffered whenever an enabled
+    // reservoir is bound — sampled or not, a tail op must keep its whole
+    // chain. Spans arriving after their op completed extend the exemplar
+    // directly (stragglers of non-kept ops are simply re-stashed and age
+    // out of the bounded pending map).
+    if (!completion && exemplars_ != nullptr && exemplars_->enabled() &&
+        span.traceId != 0 && !exemplars_->appendIfHeld(span))
+        stashPending(span);
     if (!enabled_)
         return;
+    if (samplePeriod_ > 1 && !traceSampled(span.traceId, samplePeriod_)) {
+        ++sampledOut_;
+        return;
+    }
     if (spans_.size() >= spanCap_) {
         ++dropped_;
         return;
@@ -22,12 +61,115 @@ Tracer::recordSpan(TraceSpan span)
 }
 
 void
+Tracer::recordSpan(TraceSpan span)
+{
+    const std::uint64_t t0 = selfTiming_ ? selfNowNs() : 0;
+    if (recorder_)
+        recorder_->record(span);
+    ingestSpan(std::move(span), /*completion=*/false);
+    if (selfTiming_) {
+        ++spanCost_.calls;
+        spanCost_.ns += selfNowNs() - t0;
+    }
+}
+
+void
+Tracer::recordOpCompletion(TraceSpan span)
+{
+    const std::uint64_t t0 = selfTiming_ ? selfNowNs() : 0;
+    if (recorder_)
+        recorder_->record(span);
+    if (opSink_ != nullptr)
+        opSink_->onOpComplete(span, spanBytesArg(span));
+    if (exemplars_ != nullptr && exemplars_->enabled() &&
+        span.traceId != 0) {
+        std::vector<TraceSpan> chain;
+        auto it = pendingChains_.find(span.traceId);
+        if (it != pendingChains_.end()) {
+            chain = std::move(it->second);
+            pendingChains_.erase(it);
+        }
+        chain.push_back(span);
+        exemplars_->offer(span, spanBytesArg(span), std::move(chain));
+    }
+    ingestSpan(std::move(span), /*completion=*/true);
+    if (selfTiming_) {
+        ++opCost_.calls;
+        opCost_.ns += selfNowNs() - t0;
+    }
+}
+
+void
+Tracer::stashPending(const TraceSpan &span)
+{
+    pendingChains_[span.traceId].push_back(span);
+    // Ids are minted in issue order, so the smallest pending id is the
+    // oldest op — the one most likely already abandoned (e.g. rebuild
+    // stripe ids that never see an op completion).
+    while (pendingChains_.size() > kPendingOpCap)
+        pendingChains_.erase(pendingChains_.begin());
+}
+
+void
 Tracer::recordCounter(sim::NodeId node, std::string name, sim::Tick tick,
                       double value)
 {
     if (!enabled_)
         return;
-    counters_.push_back(CounterSample{node, std::move(name), tick, value});
+    const std::uint64_t t0 = selfTiming_ ? selfNowNs() : 0;
+    const std::uint64_t seq = counterSeq_[{node, name}]++;
+    bool kept = false;
+    if (seq % counterStride_ == 0) {
+        if (counters_.size() >= counterCap_)
+            decimateCounters();
+        if (counters_.size() < counterCap_) {
+            counters_.push_back(
+                CounterSample{node, std::move(name), tick, value});
+            kept = true;
+        }
+    }
+    if (!kept)
+        ++droppedCounters_;
+    if (selfTiming_) {
+        ++counterCost_.calls;
+        counterCost_.ns += selfNowNs() - t0;
+    }
+}
+
+void
+Tracer::decimateCounters()
+{
+    // Keep every 2nd retained sample per series, preserving each series'
+    // first sample, so the survivors sit at arrival indices that are
+    // multiples of the doubled stride — future seq % stride == 0 keeps
+    // landing on the same lattice.
+    std::map<std::pair<sim::NodeId, std::string>, std::uint64_t> keptIdx;
+    std::vector<CounterSample> survivors;
+    survivors.reserve(counters_.size() / 2 + 1);
+    for (CounterSample &c : counters_) {
+        const std::uint64_t idx = keptIdx[{c.node, c.name}]++;
+        if (idx % 2 == 0)
+            survivors.push_back(std::move(c));
+        else
+            ++droppedCounters_;
+    }
+    counters_ = std::move(survivors);
+    counterStride_ *= 2;
+}
+
+std::uint64_t
+Tracer::retainedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const TraceSpan &s : spans_)
+        bytes += approxSpanBytes(s);
+    for (const CounterSample &c : counters_)
+        bytes += sizeof(CounterSample) + c.name.size();
+    for (const auto &[id, chain] : pendingChains_) {
+        for (const TraceSpan &s : chain)
+            bytes += approxSpanBytes(s);
+    }
+    return bytes;
 }
 
 void
@@ -41,7 +183,15 @@ Tracer::clear()
 {
     spans_.clear();
     counters_.clear();
+    counterSeq_.clear();
+    pendingChains_.clear();
     dropped_ = 0;
+    sampledOut_ = 0;
+    droppedCounters_ = 0;
+    counterStride_ = 1;
+    spanCost_ = SelfCost{};
+    opCost_ = SelfCost{};
+    counterCost_ = SelfCost{};
     nextId_ = 1;
 }
 
@@ -114,6 +264,18 @@ Tracer::writeChromeTrace(std::ostream &os) const
            << ",\"tid\":" << tid << ",\"args\":{\"name\":";
         writeJsonString(os, key.second);
         os << "}}";
+    }
+
+    // Truncation metadata: an exported trace that silently lost spans is
+    // worse than no trace — surface cap drops and the sampling skim so a
+    // viewer knows the stream is partial.
+    if (dropped_ > 0 || droppedCounters_ > 0 || sampledOut_ > 0) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"trace_truncation\",\"pid\":0,"
+           << "\"tid\":0,\"args\":{\"dropped_spans\":" << dropped_
+           << ",\"dropped_counters\":" << droppedCounters_
+           << ",\"sampled_out_spans\":" << sampledOut_
+           << ",\"sample_period\":" << samplePeriod_ << "}}";
     }
 
     for (const auto &s : spans_) {

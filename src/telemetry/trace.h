@@ -32,8 +32,11 @@
 
 #include "sim/types.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/sampling.h"
 
 namespace draid::telemetry {
+
+class ExemplarReservoir;
 
 /** One timed span on one node's lane. */
 struct TraceSpan
@@ -55,6 +58,19 @@ struct CounterSample
     std::string name; ///< e.g. "nic.tx.util"
     sim::Tick tick = 0;
     double value = 0.0;
+};
+
+/**
+ * Sink notified once per completed user op (root span on the "op" lane).
+ * The streaming timeline aggregator implements this so windowed stats see
+ * EVERY completion even when sampling drops the op's spans from retention.
+ */
+class OpCompletionSink
+{
+  public:
+    virtual ~OpCompletionSink() = default;
+    /** @p bytes parsed from the root span's "bytes" arg (0 if absent). */
+    virtual void onOpComplete(const TraceSpan &root, std::uint64_t bytes) = 0;
 };
 
 /** Span sink + trace-id mint. */
@@ -84,10 +100,53 @@ class Tracer
 
     /**
      * Append one span. Always mirrored into the attached flight recorder's
-     * ring; retained for export only while enabled() and under the span
-     * cap.
+     * ring; retained for export only while enabled(), the trace id is
+     * sampled, and the span cap is not hit.
      */
     void recordSpan(TraceSpan span);
+
+    /**
+     * Append the root "op" span of a completed user op. Beyond the normal
+     * recordSpan() path this (in order): notifies the bound
+     * OpCompletionSink, offers the op — with its buffered sub-span chain —
+     * to the bound exemplar reservoir, then retains the span like any
+     * other. Array entry points (DraidHost, HostCentricRaid) call this
+     * instead of recordSpan() for the root span.
+     */
+    void recordOpCompletion(TraceSpan span);
+
+    /** Streaming consumer of op completions (nullptr detaches). */
+    void bindOpSink(OpCompletionSink *sink) { opSink_ = sink; }
+
+    /** Tail-exemplar reservoir fed at op completion (nullptr detaches).
+     *  While the reservoir is enabled the tracer buffers every traced
+     *  sub-span per op so a kept exemplar carries its whole chain. */
+    void bindExemplars(ExemplarReservoir *reservoir)
+    {
+        exemplars_ = reservoir;
+    }
+    ExemplarReservoir *exemplars() const { return exemplars_; }
+
+    /**
+     * Deterministic head sampling: retain spans of 1-in-@p period trace
+     * ids, decided by the seeded hash of the id (sampling.h) — never by
+     * the engine RNG, so enabling sampling cannot perturb the simulation
+     * and the sampled set is byte-identical across runs. 0/1 disables.
+     * Orthogonal to mint(): ids are minted for every op regardless, and
+     * id 0 is always kept.
+     */
+    void setSamplePeriod(std::uint64_t period)
+    {
+        samplePeriod_ = period == 0 ? 1 : period;
+    }
+    std::uint64_t samplePeriod() const { return samplePeriod_; }
+    /** Keep decision for @p traceId under the current period. */
+    bool sampled(std::uint64_t traceId) const
+    {
+        return traceSampled(traceId, samplePeriod_);
+    }
+    /** Spans skipped by the sampling decision (not an overflow drop). */
+    std::uint64_t sampledOutSpans() const { return sampledOut_; }
 
     /** Attach a flight recorder that shadows every recorded span. */
     void bindFlightRecorder(FlightRecorder *recorder)
@@ -109,12 +168,48 @@ class Tracer
         return counters_;
     }
     std::uint64_t droppedSpans() const { return dropped_; }
+    std::uint64_t droppedCounters() const { return droppedCounters_; }
 
     /**
      * Bound on retained spans; further spans are counted but dropped so a
      * long bench with tracing on cannot exhaust memory.
      */
     void setSpanCap(std::size_t cap) { spanCap_ = cap; }
+
+    /**
+     * Bound on retained counter samples. Unlike the span cap, hitting it
+     * does not truncate the tail: the retained set is decimated in place
+     * (every 2nd sample per series dropped, stride doubled), so coverage
+     * stays end-to-end at reduced resolution and memory stays O(cap).
+     */
+    void setCounterCap(std::size_t cap)
+    {
+        counterCap_ = cap == 0 ? 1 : cap;
+    }
+    /** Current per-series keep stride (1 until the cap is first hit). */
+    std::uint64_t counterStride() const { return counterStride_; }
+
+    /**
+     * Host-clock self-timing of the recording paths, for the
+     * telemetry.* rows and the telemetry_overhead block in
+     * BENCH_simcore.json. Off by default (two clock reads per span are
+     * not free); the harness enables it only when profiling. Wall-clock
+     * reads are legal here — src/telemetry/ is the lint-exempt scope —
+     * and never influence what is recorded.
+     */
+    void setSelfTiming(bool on) { selfTiming_ = on; }
+    struct SelfCost
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t ns = 0;
+    };
+    const SelfCost &spanCost() const { return spanCost_; }
+    const SelfCost &opCost() const { return opCost_; }
+    const SelfCost &counterCost() const { return counterCost_; }
+
+    /** Approximate heap bytes retained (spans + counters + pending
+     *  exemplar chains; size-based, so deterministic across runs). */
+    std::uint64_t retainedBytes() const;
 
     /** Emit the whole trace as Chrome trace_event JSON. */
     void writeChromeTrace(std::ostream &os) const;
@@ -123,13 +218,40 @@ class Tracer
     void clear();
 
   private:
+    /** Shared retention path; @p completion marks a root op span (already
+     *  routed through sink/reservoir, so no pending-chain stash). */
+    void ingestSpan(TraceSpan span, bool completion);
+    /** Buffer a sub-span until its op completes (exemplar chains). */
+    void stashPending(const TraceSpan &span);
+    /** Halve retained counter resolution (stride doubling). */
+    void decimateCounters();
+
     bool enabled_ = false;
     FlightRecorder *recorder_ = nullptr;
     std::uint64_t nextId_ = 1;
     std::size_t spanCap_ = 4'000'000;
     std::uint64_t dropped_ = 0;
+    std::uint64_t sampledOut_ = 0;
+    std::uint64_t samplePeriod_ = 1;
+    std::size_t counterCap_ = 262'144;
+    std::uint64_t counterStride_ = 1;
+    std::uint64_t droppedCounters_ = 0;
+    bool selfTiming_ = false;
+    SelfCost spanCost_;
+    SelfCost opCost_;
+    SelfCost counterCost_;
+    OpCompletionSink *opSink_ = nullptr;
+    ExemplarReservoir *exemplars_ = nullptr;
     std::vector<TraceSpan> spans_;
     std::vector<CounterSample> counters_;
+    /** Per-series arrival index driving the counter keep stride. */
+    std::map<std::pair<sim::NodeId, std::string>, std::uint64_t>
+        counterSeq_;
+    /** In-flight sub-span chains keyed by trace id, kept only while an
+     *  enabled reservoir is bound; bounded by kPendingOpCap (oldest —
+     *  smallest id — evicted first). */
+    std::map<std::uint64_t, std::vector<TraceSpan>> pendingChains_;
+    static constexpr std::size_t kPendingOpCap = 1024;
     std::map<sim::NodeId, std::string> nodeNames_;
 };
 

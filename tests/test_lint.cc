@@ -102,6 +102,28 @@ TEST(DraidLint, RawRngFiresOnIncludeAndEngine)
         << r.output;
 }
 
+// src/telemetry/ is draw-free by contract: even sim::Rng is banned
+// there, because a sampling decision backed by an engine draw would
+// shift the seed chain of the simulation being observed.
+TEST(DraidLint, RawRngFiresOnRngInTelemetryScope)
+{
+    const LintRun r = lintFixture("src/telemetry/sampler_rng.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/telemetry/sampler_rng.cc:7: raw-rng:"),
+              std::string::npos)
+        << r.output;
+}
+
+// ... and the replacement idiom — head sampling by a seeded hash of the
+// trace id — lints clean in the same scope.
+TEST(DraidLint, HashBasedSamplerIsCleanInTelemetryScope)
+{
+    const LintRun r = lintFixture("src/telemetry/sampler_hash.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos)
+        << r.output;
+}
+
 TEST(DraidLint, UnorderedIterFiresOnRangeFor)
 {
     const LintRun r = lintFixture("src/core/unordered_iter.cc");

@@ -185,6 +185,82 @@ TEST(Tracer, SpanCapDropsButCounts)
     EXPECT_EQ(t.droppedSpans(), 2u);
 }
 
+TEST(Tracer, ClearResetsDroppedAndNextId)
+{
+    telemetry::Tracer t;
+    t.setEnabled(true);
+    t.setSpanCap(1);
+    t.setCounterCap(1);
+    for (int i = 0; i < 3; ++i) {
+        telemetry::TraceSpan s;
+        s.traceId = t.mint();
+        s.name = "x";
+        t.recordSpan(std::move(s));
+        t.recordCounter(0, "u", i, 0.5);
+    }
+    ASSERT_GT(t.droppedSpans(), 0u);
+    ASSERT_GT(t.droppedCounters(), 0u);
+    ASSERT_GT(t.counterStride(), 1u);
+
+    t.clear();
+    EXPECT_TRUE(t.spans().empty());
+    EXPECT_TRUE(t.counterSamples().empty());
+    EXPECT_EQ(t.droppedSpans(), 0u);
+    EXPECT_EQ(t.droppedCounters(), 0u);
+    EXPECT_EQ(t.sampledOutSpans(), 0u);
+    EXPECT_EQ(t.counterStride(), 1u);
+    EXPECT_EQ(t.mint(), 1u); // id sequence restarts
+}
+
+TEST(Tracer, FlightRecorderMirrorsPastSpanCap)
+{
+    telemetry::Tracer t;
+    telemetry::FlightRecorder fr(8);
+    t.bindFlightRecorder(&fr);
+    t.setEnabled(true);
+    t.setSpanCap(2);
+    for (int i = 0; i < 6; ++i) {
+        telemetry::TraceSpan s;
+        s.traceId = t.mint();
+        s.name = "op";
+        s.lane = "op";
+        t.recordSpan(std::move(s));
+    }
+    // Retention capped, but the ring saw every span regardless.
+    EXPECT_EQ(t.spans().size(), 2u);
+    EXPECT_EQ(t.droppedSpans(), 4u);
+    EXPECT_EQ(fr.totalRecorded(), 6u);
+    EXPECT_EQ(fr.size(), 6u);
+}
+
+TEST(Tracer, TruncationMetadataInChromeExport)
+{
+    telemetry::Tracer t;
+    t.setEnabled(true);
+    // No drops: no truncation marker, so clean traces stay clean.
+    telemetry::TraceSpan ok;
+    ok.traceId = t.mint();
+    ok.name = "x";
+    t.recordSpan(std::move(ok));
+    EXPECT_EQ(t.toChromeTraceJson().find("trace_truncation"),
+              std::string::npos);
+
+    t.setSpanCap(1);
+    for (int i = 0; i < 3; ++i) {
+        telemetry::TraceSpan s;
+        s.traceId = t.mint();
+        s.name = "x";
+        t.recordSpan(std::move(s));
+    }
+    const std::string json = t.toChromeTraceJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"trace_truncation\""), std::string::npos);
+    // The pre-cap span already fills the one retained slot, so all three
+    // later spans dropped.
+    EXPECT_NE(json.find("\"dropped_spans\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped_counters\":0"), std::string::npos);
+}
+
 TEST(Tracer, ChromeTraceJsonIsWellFormed)
 {
     telemetry::Tracer t;

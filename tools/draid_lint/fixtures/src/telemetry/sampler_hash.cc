@@ -1,0 +1,21 @@
+namespace fixture {
+
+// The clean way to head-sample in telemetry: a seeded integer hash of
+// the trace id. Pure and draw-free, so the sampled set is byte-identical
+// across runs and the simulation never notices.
+unsigned long long
+sampleHash(unsigned long long id)
+{
+    unsigned long long z = id + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+bool
+sampled(unsigned long long id, unsigned long long period)
+{
+    return period <= 1 || sampleHash(id) < ~0ull / period;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+namespace fixture {
+
+// A trace sampler must not consume engine randomness: every draw
+// advances the deterministic seed chain of the simulation under
+// observation, so enabling sampling would change simulated output.
+bool
+sampleOp(sim::Rng &rng) // violation: telemetry is draw-free
+{
+    return rng.uniform01() < 0.01;
+}
+
+} // namespace fixture

@@ -200,6 +200,13 @@ ruleRawRng(const FileUnit &u, const RuleSink &sink)
         "jrand48",
         "arc4random",
     };
+    // Telemetry is held to a stricter bar: it must not draw randomness
+    // AT ALL, not even through sim::Rng — a trace-sampling decision
+    // backed by an engine draw would shift the deterministic seed chain
+    // and perturb the simulation it is observing. Sampling decisions
+    // hash the trace id instead (telemetry/sampling.h).
+    const bool telemetryScope =
+        u.relPath.rfind("src/telemetry/", 0) == 0;
     for (std::size_t i = 0; i < u.tokens.size(); ++i) {
         if (!isIdent(u, i))
             continue;
@@ -209,6 +216,14 @@ ruleRawRng(const FileUnit &u, const RuleSink &sink)
                         "'" + t +
                             "' bypasses the deterministic seed chain; "
                             "use sim::Rng (src/sim/rng.h)");
+            continue;
+        }
+        if (telemetryScope && t == "Rng") {
+            sink.report(u.tokens[i].line, "raw-rng",
+                        "telemetry must be draw-free: an Rng draw here "
+                        "would shift the engine's seed chain and perturb "
+                        "the simulation; decide by hashing the trace id "
+                        "(telemetry/sampling.h)");
             continue;
         }
         // Bare rand()/random() calls (but not foo.rand() / x->random()).
