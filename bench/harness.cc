@@ -395,7 +395,8 @@ appendBenchJsonRow(SystemUnderTest &sut, const workload::FioConfig &fio,
     char buf[512];
     os << "{\"figure\":\""
        << (g_currentFigure.empty() ? "bench" : g_currentFigure)
-       << "\",\"system\":\"" << name(sut.kind()) << "\"";
+       << "\",\"system\":\"" << name(sut.kind()) << "\",\"seed\":"
+       << g_telemetry.seed;
     std::snprintf(buf, sizeof(buf),
                   ",\"config\":{\"level\":\"%s\",\"chunk_kb\":%u,"
                   "\"width\":%u,\"spares\":%u,\"io_size\":%u,"

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fault-campaign engine: Monte Carlo durability estimation over the
+ * simulated testbed.
+ *
+ * For each scenario class the engine runs N seeded trials. A trial
+ * builds a fresh cluster + dRAID array, preloads a deterministic
+ * pattern, arms a generated fault schedule, drives a read-only
+ * foreground workload while the faults (and any rebuild) play out,
+ * drains the simulator, and ends with a bit-for-bit integrity check of
+ * the whole device against the preloaded pattern. Every integrity
+ * failure must be explained by a data-loss verdict the FailureTracker
+ * recorded while the faults unfolded — an unexplained mismatch is a
+ * model bug and is reported separately.
+ *
+ * The per-class report carries the measured data-loss probability with
+ * a Wilson confidence interval, degraded-SLO time from the windowed
+ * timeline, rebuild-exposure statistics, and (for the correlated-dual
+ * class) a closed-form MTTDL cross-check computed from the same rate
+ * parameters the schedule generator drew from.
+ */
+
+#ifndef DRAID_CAMPAIGN_CAMPAIGN_H
+#define DRAID_CAMPAIGN_CAMPAIGN_H
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "campaign/durability.h"
+#include "campaign/fault_schedule.h"
+#include "sim/types.h"
+
+namespace draid::campaign {
+
+/** Campaign-wide knobs (every trial shares them). */
+struct CampaignConfig
+{
+    std::uint64_t seed = 1;     ///< campaign seed; trials derive from it
+    std::uint32_t trials = 32;  ///< Monte Carlo trials per scenario class
+    std::uint32_t width = 4;    ///< member devices
+    std::uint32_t spares = 1;   ///< hot spares beyond the members
+    std::uint64_t stripes = 24; ///< working-set stripes (= whole device)
+    std::uint32_t chunkKb = 64;
+    sim::Tick opTimeout = 2 * sim::kMillisecond;
+    std::uint64_t fioOps = 400;  ///< foreground read ops per trial
+    std::uint32_t fioIoKb = 32;  ///< foreground I/O size
+    int fioDepth = 8;            ///< foreground queue depth
+    double sloP99Us = 1000.0;    ///< per-window p99 SLO threshold
+    double mttfHours = 1.2e6;    ///< drive MTTF for the MTTDL cross-check
+    double scrubFraction = 0.5;  ///< stripes repair-scrubbed pre-failure
+    ScheduleShape shape;         ///< width/stripes synced by runCampaign
+    bool timelineAscii = false;  ///< render per-trial ASCII timelines
+    std::vector<ScenarioClass> classes = {
+        ScenarioClass::kBenign, ScenarioClass::kCorrelatedDual,
+        ScenarioClass::kLseRebuild, ScenarioClass::kGrayFlap};
+};
+
+/** Outcome of one trial. */
+struct TrialResult
+{
+    bool dataLoss = false;      ///< FailureTracker verdict
+    bool integrityPass = false; ///< bit-for-bit readback matched
+    /** Integrity failed but no loss was recorded — a model bug. */
+    bool unexplainedIntegrityFailure = false;
+    std::uint64_t lostStripes = 0;
+    std::uint64_t fioErrors = 0;
+    sim::Tick rebuildTicks = 0;     ///< 0 when no rebuild ran
+    sim::Tick exposureTicks = 0;    ///< closed + still-open windows
+    sim::Tick degradedSloTicks = 0; ///< windows breaching the p99 SLO
+    sim::Tick simEndTicks = 0;
+};
+
+/** Aggregated per-scenario-class durability estimate. */
+struct ClassReport
+{
+    ScenarioClass cls = ScenarioClass::kBenign;
+    std::uint32_t trials = 0;
+    std::uint32_t losses = 0; ///< trials with a data-loss verdict
+    double lossP = 0.0;
+    WilsonInterval ci;
+    std::uint64_t lostStripes = 0;
+    std::uint32_t integrityFailures = 0;
+    std::uint32_t unexplainedIntegrityFailures = 0;
+    double degradedSloMsMean = 0.0; ///< simulated ms per trial
+    double exposureMsMean = 0.0;
+    double rebuildMsMean = 0.0; ///< over trials where a rebuild ran
+    std::uint64_t fioErrors = 0;
+};
+
+/** Closed-form cross-check row (from the correlated-dual class). */
+struct MttdlCrossCheck
+{
+    bool valid = false;
+    double mttfHours = 0.0;
+    double gapMeanMs = 0.0;
+    double rebuildMsMean = 0.0;
+    double accelHoursPerTick = 0.0;
+    double mttrHours = 0.0;
+    double mttdlHours = 0.0;
+    double modelLossP = 0.0;    ///< 1 - exp(-rebuild / gap mean)
+    double measuredLossP = 0.0; ///< the Monte Carlo estimate
+};
+
+/** The whole campaign's durability report. */
+struct CampaignReport
+{
+    CampaignConfig config;
+    std::vector<ClassReport> classes;
+    MttdlCrossCheck mttdl;
+};
+
+/**
+ * Run one trial of @p cls. @p trial indexes the derived seed;
+ * @p ascii_os (nullable) receives the trial's ASCII timeline.
+ */
+TrialResult runTrial(const CampaignConfig &cfg, ScenarioClass cls,
+                     std::uint32_t trial, std::ostream *ascii_os);
+
+/**
+ * Run the full campaign: every configured class x trials. Byte-for-byte
+ * deterministic in cfg (same seed -> same report).
+ */
+CampaignReport runCampaign(const CampaignConfig &cfg,
+                           std::ostream *ascii_os = nullptr);
+
+/**
+ * Append the report as JSONL: one row per scenario class plus one
+ * "mttdl-model" cross-check row, deterministic formatting.
+ */
+void writeCampaignJson(std::ostream &os, const CampaignReport &report);
+
+} // namespace draid::campaign
+
+#endif // DRAID_CAMPAIGN_CAMPAIGN_H

@@ -1,0 +1,49 @@
+#include "campaign/durability.h"
+
+#include <cmath>
+
+namespace draid::campaign {
+
+WilsonInterval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
+{
+    if (trials == 0)
+        return WilsonInterval{0.0, 1.0};
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = p + z2 / (2.0 * n);
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    WilsonInterval ci;
+    ci.lo = (center - margin) / denom;
+    ci.hi = (center + margin) / denom;
+    if (ci.lo < 0.0)
+        ci.lo = 0.0;
+    if (ci.hi > 1.0)
+        ci.hi = 1.0;
+    return ci;
+}
+
+double
+accelHoursPerTick(double mttf_hours, std::uint32_t width,
+                  double gap_mean_ticks)
+{
+    return mttf_hours / static_cast<double>(width - 1) / gap_mean_ticks;
+}
+
+double
+mttdlHours(double mttf_hours, double mttr_hours, std::uint32_t width)
+{
+    const double n = static_cast<double>(width);
+    return mttf_hours * mttf_hours / (n * (n - 1.0) * mttr_hours);
+}
+
+double
+modelLossProbability(double rebuild_ticks, double gap_mean_ticks)
+{
+    return 1.0 - std::exp(-rebuild_ticks / gap_mean_ticks);
+}
+
+} // namespace draid::campaign

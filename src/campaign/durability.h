@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Durability estimation helpers: Wilson score intervals for the Monte
+ * Carlo data-loss frequency, and the closed-form MTTDL model the
+ * campaign cross-checks its measured loss rate against.
+ *
+ * The cross-check works by construction: the simulated second-failure
+ * gap is Exp(gap mean ticks), and in the real system the time to the
+ * next failure among the surviving width-1 drives is
+ * Exp(MTTF / (width-1)) hours — so one simulated tick corresponds to
+ * accelHoursPerTick() real hours, the measured rebuild time maps to an
+ * MTTR, and the textbook MTTDL formula consumes the same rate
+ * parameters the schedule generator drew from.
+ */
+
+#ifndef DRAID_CAMPAIGN_DURABILITY_H
+#define DRAID_CAMPAIGN_DURABILITY_H
+
+#include <cstdint>
+
+namespace draid::campaign {
+
+/** A two-sided confidence interval on a binomial proportion. */
+struct WilsonInterval
+{
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/**
+ * Wilson score interval for @p successes out of @p trials at normal
+ * quantile @p z (1.96 = 95%). Returns [0, 1] when trials == 0. Unlike
+ * the normal approximation it stays inside [0, 1] and is informative
+ * at 0 observed losses — exactly the campaign's common case.
+ */
+WilsonInterval wilsonInterval(std::uint64_t successes,
+                              std::uint64_t trials, double z = 1.96);
+
+/**
+ * Real hours represented by one simulated tick, given that the sim
+ * draws the second-failure gap from Exp(@p gap_mean_ticks) while the
+ * real gap is Exp(@p mttf_hours / (width - 1)).
+ * @pre width >= 2, gap_mean_ticks > 0
+ */
+double accelHoursPerTick(double mttf_hours, std::uint32_t width,
+                         double gap_mean_ticks);
+
+/**
+ * Textbook MTTDL for an array surviving one failure:
+ * MTTF^2 / (N * (N-1) * MTTR), all in hours.
+ * @pre width >= 2, mttr_hours > 0
+ */
+double mttdlHours(double mttf_hours, double mttr_hours,
+                  std::uint32_t width);
+
+/**
+ * Closed-form per-trial data-loss probability: a second failure lands
+ * inside the rebuild window, P = 1 - exp(-rebuild / gap mean).
+ * @pre gap_mean_ticks > 0
+ */
+double modelLossProbability(double rebuild_ticks, double gap_mean_ticks);
+
+} // namespace draid::campaign
+
+#endif // DRAID_CAMPAIGN_DURABILITY_H

@@ -1,0 +1,116 @@
+#include "campaign/fault_injector.h"
+
+#include <cassert>
+
+#include "telemetry/event_journal.h"
+
+namespace draid::campaign {
+
+FaultInjector::FaultInjector(cluster::Cluster &cluster,
+                             core::DraidHost &host)
+    : cluster_(cluster), host_(host)
+{
+}
+
+nvme::Ssd &
+FaultInjector::ssdOf(std::uint32_t device)
+{
+    return cluster_.target(host_.targetOf(device)).ssd();
+}
+
+void
+FaultInjector::arm(const std::vector<FaultAction> &schedule)
+{
+    for (const FaultAction &a : schedule) {
+        cluster_.sim().schedule(a.tick, "campaign.fault",
+                                [this, a]() { apply(a); });
+    }
+}
+
+void
+FaultInjector::apply(const FaultAction &a)
+{
+    switch (a.kind) {
+      case FaultKind::kDriveFailure:
+      case FaultKind::kSecondFailure:
+        assert(driveFailure_);
+        driveFailure_(a);
+        break;
+      case FaultKind::kGrayDrive:
+        applyGray(a);
+        break;
+      case FaultKind::kLatentSectorError:
+        applyLse(a);
+        break;
+      case FaultKind::kTargetFlap:
+        applyFlap(a);
+        break;
+      case FaultKind::kPortDegrade:
+        applyPortDegrade(a);
+        break;
+    }
+}
+
+void
+FaultInjector::applyGray(const FaultAction &a)
+{
+    const std::uint32_t target = host_.targetOf(a.device);
+    nvme::Ssd &ssd = cluster_.target(target).ssd();
+    ssd.setDegradeFactor(a.factor);
+    // The journal record stands in for the health monitor that notices
+    // the inflated latencies (the campaign knows ground truth).
+    cluster_.telemetry().journal().record(
+        telemetry::EventType::kSlowDriveDetected,
+        cluster_.targetNodeId(target), cluster_.sim().now(), target,
+        static_cast<std::uint64_t>(a.factor * 100.0));
+    cluster_.sim().schedule(a.duration, "campaign.gray.clear",
+                            [&ssd]() { ssd.setDegradeFactor(1.0); });
+}
+
+void
+FaultInjector::applyLse(const FaultAction &a)
+{
+    // Plant one unreadable sector run at the start of this (stripe,
+    // device) chunk. Silent by design: the SSD journals the discovery
+    // when something finally reads the range.
+    const std::uint64_t addr =
+        host_.geometry().deviceAddress(a.stripe, 0);
+    ssdOf(a.device).plantLatentSectorError(addr, kLseBytes);
+}
+
+void
+FaultInjector::applyFlap(const FaultAction &a)
+{
+    const std::uint32_t target = host_.targetOf(a.device);
+    cluster_.telemetry().journal().record(
+        telemetry::EventType::kTargetFlap, cluster_.targetNodeId(target),
+        cluster_.sim().now(), target, a.cycles);
+    for (std::uint32_t c = 0; c < a.cycles; ++c) {
+        const sim::Tick base = 2 * static_cast<sim::Tick>(c) * a.duration;
+        cluster_.sim().schedule(base, "campaign.flap.down", [this, target]() {
+            cluster_.failTarget(target);
+        });
+        cluster_.sim().schedule(base + a.duration, "campaign.flap.up",
+                                [this, target]() {
+            cluster_.recoverTarget(target);
+        });
+    }
+}
+
+void
+FaultInjector::applyPortDegrade(const FaultAction &a)
+{
+    const std::uint32_t target = host_.targetOf(a.device);
+    net::Nic &nic = cluster_.target(target).nic();
+    const double full = nic.goodput();
+    nic.setGoodput(full * a.factor);
+    cluster_.telemetry().journal().record(
+        telemetry::EventType::kSwitchPortDegraded,
+        cluster_.targetNodeId(target), cluster_.sim().now(),
+        cluster_.targetNodeId(target),
+        static_cast<std::uint64_t>(a.factor * 100.0));
+    cluster_.sim().schedule(a.duration, "campaign.port.restore",
+                            [&nic, full]() { nic.setGoodput(full); });
+}
+
+} // namespace draid::campaign

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FaultInjector: arms a generated fault schedule against a live testbed.
+ *
+ * The injector owns the mechanical primitives — latency inflation on a
+ * gray drive's SSD, latent-sector-error planting, target down/up
+ * flapping, NIC goodput cuts — and journals the matching cluster
+ * events. Drive-death actions (kDriveFailure / kSecondFailure) are
+ * policy, not mechanism: they are delegated to a campaign-supplied
+ * callback that decides how the array reacts (degrade, rebuild, promote
+ * to data loss).
+ */
+
+#ifndef DRAID_CAMPAIGN_FAULT_INJECTOR_H
+#define DRAID_CAMPAIGN_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/fault_schedule.h"
+#include "cluster/cluster.h"
+#include "core/draid_host.h"
+
+namespace draid::campaign {
+
+/** Applies FaultActions to a cluster + dRAID host pair. */
+class FaultInjector
+{
+  public:
+    FaultInjector(cluster::Cluster &cluster, core::DraidHost &host);
+
+    /** Handler for kDriveFailure / kSecondFailure actions (required if
+     *  the schedule contains any). */
+    void onDriveFailure(std::function<void(const FaultAction &)> cb)
+    {
+        driveFailure_ = std::move(cb);
+    }
+
+    /**
+     * Schedule every action of @p schedule at now + action.tick. The
+     * schedule must outlive nothing — actions are copied into the
+     * simulator's closures.
+     */
+    void arm(const std::vector<FaultAction> &schedule);
+
+    /** Bytes planted per latent sector error (one 4K sector run). */
+    static constexpr std::uint32_t kLseBytes = 4096;
+
+  private:
+    void apply(const FaultAction &a);
+    void applyGray(const FaultAction &a);
+    void applyLse(const FaultAction &a);
+    void applyFlap(const FaultAction &a);
+    void applyPortDegrade(const FaultAction &a);
+
+    /** The SSD currently serving member device @p device. */
+    nvme::Ssd &ssdOf(std::uint32_t device);
+
+    cluster::Cluster &cluster_;
+    core::DraidHost &host_;
+    std::function<void(const FaultAction &)> driveFailure_;
+};
+
+} // namespace draid::campaign
+
+#endif // DRAID_CAMPAIGN_FAULT_INJECTOR_H

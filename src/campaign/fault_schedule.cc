@@ -1,0 +1,147 @@
+#include "campaign/fault_schedule.h"
+
+#include <algorithm>
+
+namespace draid::campaign {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kDriveFailure:      return "drive-failure";
+      case FaultKind::kSecondFailure:     return "second-failure";
+      case FaultKind::kGrayDrive:         return "gray-drive";
+      case FaultKind::kLatentSectorError: return "latent-sector-error";
+      case FaultKind::kTargetFlap:        return "target-flap";
+      case FaultKind::kPortDegrade:       return "port-degrade";
+    }
+    return "unknown";
+}
+
+const char *
+scenarioName(ScenarioClass cls)
+{
+    switch (cls) {
+      case ScenarioClass::kBenign:         return "benign";
+      case ScenarioClass::kCorrelatedDual: return "correlated-dual";
+      case ScenarioClass::kLseRebuild:     return "lse-rebuild";
+      case ScenarioClass::kGrayFlap:       return "gray-flap";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Uniform tick in [mean/2, 3*mean/2). @pre mean > 0 */
+sim::Tick
+jittered(sim::Tick mean, sim::Rng &rng)
+{
+    const auto span = static_cast<std::uint64_t>(mean);
+    return mean / 2 + static_cast<sim::Tick>(rng.nextBounded(span));
+}
+
+FaultAction
+firstFailure(const ScheduleShape &shape, sim::Rng &rng)
+{
+    FaultAction a;
+    a.kind = FaultKind::kDriveFailure;
+    a.tick = jittered(shape.firstFailureTick, rng);
+    a.device =
+        static_cast<std::uint32_t>(rng.nextBounded(shape.width));
+    return a;
+}
+
+/** A member device distinct from @p avoid. @pre width >= 2 */
+std::uint32_t
+otherDevice(std::uint32_t avoid, std::uint32_t width, sim::Rng &rng)
+{
+    const auto pick =
+        static_cast<std::uint32_t>(rng.nextBounded(width - 1));
+    return pick >= avoid ? pick + 1 : pick;
+}
+
+} // namespace
+
+std::vector<FaultAction>
+generateSchedule(ScenarioClass cls, const ScheduleShape &shape,
+                 sim::Rng &rng)
+{
+    std::vector<FaultAction> out;
+    switch (cls) {
+      case ScenarioClass::kBenign: {
+        out.push_back(firstFailure(shape, rng));
+        break;
+      }
+      case ScenarioClass::kCorrelatedDual: {
+        FaultAction first = firstFailure(shape, rng);
+        FaultAction second;
+        second.kind = FaultKind::kSecondFailure;
+        second.tick =
+            first.tick + static_cast<sim::Tick>(rng.nextExponential(
+                             static_cast<double>(shape.gapMeanTicks)));
+        second.device = otherDevice(first.device, shape.width, rng);
+        out.push_back(first);
+        out.push_back(second);
+        break;
+      }
+      case ScenarioClass::kLseRebuild: {
+        // Plant the latent errors up front — they are latent precisely
+        // because nothing notices them until a scrub or rebuild reads
+        // the range.
+        for (std::uint32_t i = 0; i < shape.lseCount; ++i) {
+            FaultAction lse;
+            lse.kind = FaultKind::kLatentSectorError;
+            lse.tick = 0;
+            lse.stripe = rng.nextBounded(shape.stripes);
+            lse.device =
+                static_cast<std::uint32_t>(rng.nextBounded(shape.width));
+            out.push_back(lse);
+        }
+        out.push_back(firstFailure(shape, rng));
+        break;
+      }
+      case ScenarioClass::kGrayFlap: {
+        FaultAction gray;
+        gray.kind = FaultKind::kGrayDrive;
+        gray.tick = jittered(shape.firstFailureTick, rng);
+        gray.device =
+            static_cast<std::uint32_t>(rng.nextBounded(shape.width));
+        gray.factor = shape.grayFactor;
+        gray.duration = shape.grayDuration;
+        out.push_back(gray);
+
+        FaultAction flap;
+        flap.kind = FaultKind::kTargetFlap;
+        flap.tick = jittered(2 * shape.firstFailureTick, rng);
+        flap.device = otherDevice(gray.device, shape.width, rng);
+        flap.duration = shape.flapHalfPeriod;
+        flap.cycles = shape.flapCycles;
+        out.push_back(flap);
+
+        FaultAction port;
+        port.kind = FaultKind::kPortDegrade;
+        port.tick = jittered(3 * shape.firstFailureTick, rng);
+        port.device = shape.width >= 3
+                          ? otherDevice(flap.device, shape.width, rng)
+                          : gray.device;
+        port.factor = shape.portGoodputFraction;
+        port.duration = shape.portDegradeDuration;
+        out.push_back(port);
+        break;
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FaultAction &x, const FaultAction &y) {
+                  if (x.tick != y.tick)
+                      return x.tick < y.tick;
+                  if (x.kind != y.kind)
+                      return static_cast<int>(x.kind) <
+                             static_cast<int>(y.kind);
+                  if (x.device != y.device)
+                      return x.device < y.device;
+                  return x.stripe < y.stripe;
+              });
+    return out;
+}
+
+} // namespace draid::campaign

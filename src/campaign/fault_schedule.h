@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fault-schedule generator for durability campaigns: composes seeded,
+ * deterministic schedules of fault primitives — correlated drive
+ * failures, gray (slow) drives, latent sector errors, NVMe-oF target
+ * flapping, switch-port bandwidth degradation — that the FaultInjector
+ * then arms against a live testbed.
+ *
+ * A schedule is a plain sorted vector of FaultAction records; generation
+ * draws only from the caller's sim::Rng, so the same (class, shape,
+ * seed) triple always yields the same schedule, and two trials differ
+ * only through their derived seeds.
+ */
+
+#ifndef DRAID_CAMPAIGN_FAULT_SCHEDULE_H
+#define DRAID_CAMPAIGN_FAULT_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace draid::campaign {
+
+/** The fault primitives a schedule is composed of. */
+enum class FaultKind : std::uint8_t
+{
+    kDriveFailure,      ///< member device dies (degraded mode + rebuild)
+    kSecondFailure,     ///< correlated second death, gap ~ Exp(gap mean)
+    kGrayDrive,         ///< latency inflation on one member for a while
+    kLatentSectorError, ///< unreadable media range planted on one chunk
+    kTargetFlap,        ///< NVMe-oF target bounces down/up for N cycles
+    kPortDegrade,       ///< switch-port goodput cut for a while
+};
+
+/** Stable short name: "drive-failure", "gray-drive", ... */
+const char *faultKindName(FaultKind kind);
+
+/** One armed fault. Fields are typed per FaultKind. */
+struct FaultAction
+{
+    sim::Tick tick = 0; ///< trial-relative arming tick
+    FaultKind kind = FaultKind::kDriveFailure;
+    std::uint32_t device = 0; ///< member device index
+    std::uint64_t stripe = 0; ///< kLatentSectorError: stripe carrying it
+    double factor = 1.0;      ///< gray latency multiple / port goodput frac
+    sim::Tick duration = 0;   ///< gray & port: length; flap: half-period
+    std::uint32_t cycles = 0; ///< kTargetFlap: down/up repetitions
+};
+
+/** The scenario classes a campaign sweeps (one Monte Carlo set each). */
+enum class ScenarioClass : std::uint8_t
+{
+    kBenign,         ///< one failure, clean rebuild onto the spare
+    kCorrelatedDual, ///< second failure races the rebuild window
+    kLseRebuild,     ///< latent sector errors discovered mid-rebuild
+    kGrayFlap,       ///< gray drive + target flap + port degrade, no death
+};
+
+inline constexpr std::size_t kNumScenarioClasses = 4;
+
+/** Stable short name: "benign", "correlated-dual", ... */
+const char *scenarioName(ScenarioClass cls);
+
+/** Knobs the generator draws schedules from. */
+struct ScheduleShape
+{
+    std::uint32_t width = 4;    ///< member devices
+    std::uint64_t stripes = 24; ///< working-set stripes
+    /** Mean tick of the first drive failure (uniform in [mean/2, 3mean/2)). */
+    sim::Tick firstFailureTick = sim::kMillisecond;
+    /** Mean of the exponential first-to-second failure gap. */
+    sim::Tick gapMeanTicks = 4 * sim::kMillisecond;
+    std::uint32_t lseCount = 3;    ///< planted latent sector errors
+    double grayFactor = 4.0;       ///< gray-drive latency multiple
+    sim::Tick grayDuration = 2 * sim::kMillisecond;
+    std::uint32_t flapCycles = 3;  ///< target down/up repetitions
+    sim::Tick flapHalfPeriod = 300 * sim::kMicrosecond;
+    double portGoodputFraction = 0.25; ///< goodput left after degrade
+    sim::Tick portDegradeDuration = 2 * sim::kMillisecond;
+};
+
+/**
+ * Draw one schedule for @p cls from @p rng. The result is sorted by
+ * (tick, kind, device) so arming order never depends on generation
+ * order. All randomness flows through @p rng — nothing else.
+ */
+std::vector<FaultAction> generateSchedule(ScenarioClass cls,
+                                          const ScheduleShape &shape,
+                                          sim::Rng &rng);
+
+} // namespace draid::campaign
+
+#endif // DRAID_CAMPAIGN_FAULT_SCHEDULE_H

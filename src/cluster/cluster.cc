@@ -50,8 +50,12 @@ Cluster::instrumentNode(Node &node)
     node.nic().tx().bindTrace(&tracer, id, "nic.tx");
     node.nic().rx().bindTrace(&tracer, id, "nic.rx");
     node.cpu().bindTrace(&tracer, id);
-    if (node.hasSsd())
+    if (node.hasSsd()) {
         node.ssd().bindTrace(&tracer, id);
+        // Media-error discoveries (LatentSectorError) land in the cluster
+        // journal with the drive's own node id.
+        node.ssd().bindJournal(&telemetry_.journal(), id);
+    }
 
     // Pull probes over the counters the components already keep; sampling
     // them at snapshot time costs the hot path nothing.

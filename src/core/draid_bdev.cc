@@ -507,7 +507,23 @@ DraidBdev::handleReconstruction(const net::Message &msg)
         node_.ssd().read(lo, static_cast<std::uint32_t>(hi - lo),
                          cmd.traceId,
                          [this, cmd, from, lo, recon_lo,
-                          also_read](blockdev::IoStatus, ec::Buffer data) {
+                          also_read](blockdev::IoStatus st, ec::Buffer data) {
+            if (st != blockdev::IoStatus::kOk) {
+                // Media error (e.g. a latent sector error on a survivor):
+                // this participant cannot contribute, so the stripe cannot
+                // be reconstructed. Fail the host's reducer sub-operation
+                // directly — completeSub() finishes the op on the first
+                // failed sub, and any later completion from the actual
+                // reducer is dropped as stale.
+                sendCompletion(from, makeCmdId(opOf(cmd.commandId),
+                                               kReducerSub),
+                               proto::Status::kFailed, {}, cmd.traceId);
+                if (also_read) {
+                    sendCompletion(from, cmd.commandId,
+                                   proto::Status::kFailed, {}, cmd.traceId);
+                }
+                return;
+            }
             ec::Buffer recon = data.slice(
                 static_cast<std::size_t>(recon_lo - lo), cmd.fwdLength);
             if (cmd.subtype == proto::Subtype::kNoReadQ) {

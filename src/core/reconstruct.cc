@@ -90,6 +90,8 @@ RebuildJob::pump()
                 span.args.emplace_back("ok", ok ? "1" : "0");
                 tracer_->recordSpan(std::move(span));
             }
+            if (!ok && stripeFailed_)
+                stripeFailed_(stripe);
             onStripeDone(ok);
         });
     }

@@ -63,6 +63,17 @@ class RebuildJob
      */
     void bindJournal(telemetry::EventJournal *journal, sim::NodeId node);
 
+    /**
+     * Injectable fault hook (fault campaigns): called with the stripe
+     * index whenever a stripe's reconstruction reports failure, before
+     * the job's own failure accounting. Lets a campaign promote the
+     * stripe to data loss while the rebuild keeps sweeping.
+     */
+    void onStripeFailed(std::function<void(std::uint64_t)> hook)
+    {
+        stripeFailed_ = std::move(hook);
+    }
+
     std::uint64_t stripesDone() const { return done_; }
     std::uint64_t failures() const { return failures_; }
 
@@ -94,6 +105,7 @@ class RebuildJob
     sim::Tick startTick_ = 0;
     sim::Tick endTick_ = 0;
     std::function<void(bool)> onFinished_;
+    std::function<void(std::uint64_t)> stripeFailed_;
 };
 
 } // namespace draid::core

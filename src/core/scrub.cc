@@ -49,15 +49,63 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
         ec::Buffer q;
         int remaining = 0;
         bool ok = true;
+        // Chunk indices that could not be read (media errors): 0..k-1 =
+        // data chunk, k = P, k+1 = Q.
+        int failCount = 0;
+        int failedIdx = -1;
     };
     auto ctx = std::make_shared<Ctx>();
     ctx->data.assign(k, ec::Buffer());
     ctx->remaining = static_cast<int>(k) + (raid6 ? 2 : 1);
 
-    auto verify = [this, ctx, stripe, addr, repair, raid6,
+    auto verify = [this, ctx, stripe, addr, repair, raid6, k,
                    done = std::move(done)]() mutable {
         if (!ctx->ok) {
-            done(ScrubResult{});
+            if (!repair || ctx->failCount != 1) {
+                done(ScrubResult{});
+                return;
+            }
+            // Exactly one chunk was unreadable (a latent sector error
+            // surfaced by the scrub): reconstruct it from the survivors
+            // and rewrite it in place, which also clears the bad range
+            // on the drive.
+            const int fi = ctx->failedIdx;
+            ec::Buffer fix;
+            std::uint32_t device;
+            if (fi < static_cast<int>(k)) {
+                // Data chunk: XOR of P and the surviving data chunks.
+                std::vector<ec::Buffer> survivors;
+                survivors.reserve(k);
+                survivors.push_back(ctx->p);
+                for (std::uint32_t j = 0; j < k; ++j) {
+                    if (static_cast<int>(j) != fi)
+                        survivors.push_back(ctx->data[j]);
+                }
+                fix = ec::Raid5Codec::recover(survivors);
+                device = geom_.dataDevice(
+                    stripe, static_cast<std::uint32_t>(fi));
+            } else if (fi == static_cast<int>(k)) {
+                fix = ec::Raid5Codec::computeParity(ctx->data);
+                device = geom_.parityDevice(stripe);
+            } else {
+                ec::Buffer ep, eq;
+                ec::Raid6Codec::computePQ(ctx->data, ep, eq);
+                fix = std::move(eq);
+                device = geom_.qDevice(stripe);
+            }
+            cluster_.host().cpu().executeBytes(
+                fix.size(), cluster_.config().xorBw, 0,
+                [this, addr, device, fix = std::move(fix),
+                 done = std::move(done)]() mutable {
+                    initiator_.writeRemote(
+                        targetOf(device), addr, fix,
+                        [done = std::move(done)](
+                            blockdev::IoStatus st) mutable {
+                            done(st == blockdev::IoStatus::kOk
+                                     ? ScrubResult{true, false, true}
+                                     : ScrubResult{});
+                        });
+                });
             return;
         }
         ec::Buffer expect_p, expect_q;
@@ -108,9 +156,12 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
             });
     };
 
-    auto join = [ctx, verify](bool ok) mutable {
-        if (!ok)
+    auto join = [ctx, verify](int idx, bool ok) mutable {
+        if (!ok) {
             ctx->ok = false;
+            ++ctx->failCount;
+            ctx->failedIdx = idx;
+        }
         if (--ctx->remaining == 0)
             verify();
     };
@@ -121,23 +172,26 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
                                              ec::Buffer d) mutable {
                                   if (st == blockdev::IoStatus::kOk)
                                       ctx->data[i] = std::move(d);
-                                  join(st == blockdev::IoStatus::kOk);
+                                  join(static_cast<int>(i),
+                                       st == blockdev::IoStatus::kOk);
                               });
     }
     initiator_.readRemote(targetOf(geom_.parityDevice(stripe)), addr, chunk,
-                          [ctx, join](blockdev::IoStatus st,
-                                      ec::Buffer d) mutable {
+                          [ctx, k, join](blockdev::IoStatus st,
+                                         ec::Buffer d) mutable {
                               if (st == blockdev::IoStatus::kOk)
                                   ctx->p = std::move(d);
-                              join(st == blockdev::IoStatus::kOk);
+                              join(static_cast<int>(k),
+                                   st == blockdev::IoStatus::kOk);
                           });
     if (raid6) {
         initiator_.readRemote(targetOf(geom_.qDevice(stripe)), addr, chunk,
-                              [ctx, join](blockdev::IoStatus st,
-                                          ec::Buffer d) mutable {
+                              [ctx, k, join](blockdev::IoStatus st,
+                                             ec::Buffer d) mutable {
                                   if (st == blockdev::IoStatus::kOk)
                                       ctx->q = std::move(d);
-                                  join(st == blockdev::IoStatus::kOk);
+                                  join(static_cast<int>(k) + 1,
+                                       st == blockdev::IoStatus::kOk);
                               });
     }
 }

@@ -15,6 +15,7 @@
 #define DRAID_NVME_SSD_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "blockdev/block_device.h"
@@ -25,6 +26,7 @@
 
 namespace draid::telemetry {
 class Tracer;
+class EventJournal;
 }
 
 namespace draid::nvme {
@@ -68,6 +70,36 @@ class Ssd : public blockdev::BlockDevice
     /** Attach a span sink; spans land on node @p node, lane "ssd". */
     void bindTrace(telemetry::Tracer *tracer, sim::NodeId node);
 
+    /**
+     * Attach the cluster event journal: a read hitting a latent sector
+     * error records a LatentSectorError event (a = media offset, b = len)
+     * at discovery time, as node @p node. Observe-only.
+     */
+    void bindJournal(telemetry::EventJournal *journal, sim::NodeId node);
+
+    /**
+     * Gray-drive hook (fault campaigns): service times — channel occupancy
+     * and fixed media latency — scale by @p factor (>= 1.0). The drive
+     * keeps serving correctly, only slower; 1.0 restores nominal speed.
+     */
+    void setDegradeFactor(double factor);
+    double degradeFactor() const { return degrade_; }
+
+    /**
+     * Plant a latent sector error over media bytes [offset, offset+len):
+     * until the range is rewritten, any read intersecting it completes
+     * with IoStatus::kError after normal media timing (the drive burns the
+     * access before reporting the unreadable sector). A write that touches
+     * a planted range clears it (sector remap on rewrite), silently.
+     */
+    void plantLatentSectorError(std::uint64_t offset, std::uint32_t length);
+
+    /** Planted-and-not-yet-cleared latent sector error ranges. */
+    std::size_t latentSectorErrors() const { return lse_.size(); }
+
+    /** Reads that hit a latent sector error (discoveries, not ranges). */
+    std::uint64_t latentErrorsHit() const { return lseHits_; }
+
     /** Direct store access for scrub checks in tests (no timing). */
     blockdev::MemoryBdev &store() { return store_; }
     const blockdev::MemoryBdev &store() const { return store_; }
@@ -94,6 +126,17 @@ class Ssd : public blockdev::BlockDevice
     sim::Pipe channel_;
     telemetry::Tracer *tracer_ = nullptr;
     sim::NodeId traceNode_ = 0;
+    telemetry::EventJournal *journal_ = nullptr;
+    sim::NodeId journalNode_ = 0;
+    /** Gray-drive service-time multiplier (1.0 = healthy). */
+    double degrade_ = 1.0;
+    /** Latent sector errors: media start offset -> end offset (ordered so
+     *  intersection checks are deterministic). */
+    std::map<std::uint64_t, std::uint64_t> lse_;
+    std::uint64_t lseHits_ = 0;
+    /** First planted range intersecting [offset, offset+length), if any. */
+    const std::pair<const std::uint64_t, std::uint64_t> *
+    findLse(std::uint64_t offset, std::uint64_t length) const;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t bytesRead_ = 0;

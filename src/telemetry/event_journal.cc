@@ -21,6 +21,11 @@ eventTypeName(EventType t)
       case EventType::kStripeLockConvoy: return "StripeLockConvoy";
       case EventType::kHotSpareSwap: return "HotSpareSwap";
       case EventType::kOpTimeout: return "OpTimeout";
+      case EventType::kSlowDriveDetected: return "SlowDriveDetected";
+      case EventType::kLatentSectorError: return "LatentSectorError";
+      case EventType::kTargetFlap: return "TargetFlap";
+      case EventType::kSwitchPortDegraded: return "SwitchPortDegraded";
+      case EventType::kDataLoss: return "DataLoss";
     }
     return "?";
 }

@@ -47,9 +47,14 @@ enum class EventType : std::uint8_t
     kStripeLockConvoy,   ///< a = stripe, b = waiters queued behind the holder
     kHotSpareSwap,       ///< a = member device index, b = spare target index
     kOpTimeout,          ///< a = operation id
+    kSlowDriveDetected,  ///< a = target index, b = latency factor x100
+    kLatentSectorError,  ///< a = media byte offset, b = byte length
+    kTargetFlap,         ///< a = target index, b = down/up cycles
+    kSwitchPortDegraded, ///< a = fabric node, b = remaining goodput %
+    kDataLoss,           ///< a = device or stripe, b = 0 drives / 1 stripe
 };
 
-inline constexpr std::size_t kNumEventTypes = 12;
+inline constexpr std::size_t kNumEventTypes = 17;
 
 /** Stable short name: "DriveFailed", "RebuildStarted", ... */
 const char *eventTypeName(EventType t);

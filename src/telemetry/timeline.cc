@@ -505,6 +505,11 @@ eventMarker(EventType t)
       case EventType::kStripeLockConvoy: return 'L';
       case EventType::kHotSpareSwap: return 'H';
       case EventType::kOpTimeout: return 'T';
+      case EventType::kSlowDriveDetected: return 'G';
+      case EventType::kLatentSectorError: return 'E';
+      case EventType::kTargetFlap: return 'p';
+      case EventType::kSwitchPortDegraded: return 'B';
+      case EventType::kDataLoss: return '!';
     }
     return '?';
 }
@@ -520,16 +525,21 @@ int
 markerPriority(EventType t)
 {
     switch (t) {
+      case EventType::kDataLoss: return 7; ///< never hidden by anything
       case EventType::kRebuildStarted:
       case EventType::kRebuildCompleted: return 6;
       case EventType::kDriveFailed:
-      case EventType::kTargetDown: return 5;
+      case EventType::kTargetDown:
+      case EventType::kTargetFlap: return 5;
       case EventType::kHotSpareSwap:
       case EventType::kDriveRecovered:
-      case EventType::kTargetRecovered: return 4;
+      case EventType::kTargetRecovered:
+      case EventType::kSlowDriveDetected:
+      case EventType::kSwitchPortDegraded: return 4;
       case EventType::kOpTimeout: return 3;
       case EventType::kRebuildProgress:
-      case EventType::kScrubPass: return 2;
+      case EventType::kScrubPass:
+      case EventType::kLatentSectorError: return 2;
       case EventType::kStripeLockConvoy: return 1;
       case EventType::kDegradedReadServed: return 0;
     }

@@ -105,6 +105,58 @@ TEST_P(DraidScrub, RepairRestoresParity)
     EXPECT_TRUE(r2.consistent);
 }
 
+TEST_P(DraidScrub, RepairReconstructsLatentSectorError)
+{
+    DraidRig rig(6, opts(GetParam()));
+    const auto &g = rig.host().geometry();
+    ec::Buffer data(g.stripeDataSize());
+    data.fillPattern(4);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), 0, data));
+
+    // Plant an unreadable media range on data chunk 0 of stripe 0.
+    auto &ssd = rig.cluster->target(g.dataDevice(0, 0)).ssd();
+    ssd.plantLatentSectorError(g.deviceAddress(0, 0), 4096);
+
+    // check-only cannot complete: the chunk is unreadable.
+    auto r0 = scrubSync(rig, 0, /*repair=*/false);
+    EXPECT_FALSE(r0.ok);
+
+    // repair reconstructs the chunk from the survivors and rewrites it,
+    // which remaps the bad sectors.
+    auto r = scrubSync(rig, 0, /*repair=*/true);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.consistent);
+    EXPECT_TRUE(r.repaired);
+    EXPECT_EQ(ssd.latentSectorErrors(), 0u);
+
+    // The reconstructed chunk carries the original bytes.
+    bool ok = false;
+    ec::Buffer back =
+        readSync(rig.sim(), rig.host(), 0,
+                 static_cast<std::uint32_t>(g.stripeDataSize()), &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(back.contentEquals(data));
+    EXPECT_TRUE(scrubStripe(*rig.cluster, g, 0));
+}
+
+TEST_P(DraidScrub, RepairReconstructsParityLatentSectorError)
+{
+    DraidRig rig(6, opts(GetParam()));
+    const auto &g = rig.host().geometry();
+    ec::Buffer data(g.stripeDataSize());
+    data.fillPattern(5);
+    ASSERT_TRUE(writeSync(rig.sim(), rig.host(), 0, data));
+
+    auto &ssd = rig.cluster->target(g.parityDevice(0)).ssd();
+    ssd.plantLatentSectorError(g.deviceAddress(0, 0), 4096);
+
+    auto r = scrubSync(rig, 0, /*repair=*/true);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.repaired);
+    EXPECT_EQ(ssd.latentSectorErrors(), 0u);
+    EXPECT_TRUE(scrubStripe(*rig.cluster, g, 0));
+}
+
 TEST_P(DraidScrub, RefusesWhileDegraded)
 {
     DraidRig rig(6, opts(GetParam()));

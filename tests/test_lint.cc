@@ -102,6 +102,21 @@ TEST(DraidLint, RawRngFiresOnIncludeAndEngine)
         << r.output;
 }
 
+// The campaign engine is the newest consumer of seeded randomness; the
+// raw-rng rule must cover src/campaign/ like any other src/ directory so
+// schedule generation can never bypass sim::Rng.
+TEST(DraidLint, RawRngCoversCampaignScope)
+{
+    const LintRun r = lintFixture("src/campaign/raw_rng.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/campaign/raw_rng.cc:1: raw-rng:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/campaign/raw_rng.cc:8: raw-rng:"),
+              std::string::npos)
+        << r.output;
+}
+
 // src/telemetry/ is draw-free by contract: even sim::Rng is banned
 // there, because a sampling decision backed by an engine draw would
 // shift the seed chain of the simulation being observed.

@@ -1,0 +1,12 @@
+#include <random> // violation: raw-rng (banned include)
+
+namespace fixture {
+
+long
+drawGapTicks()
+{
+    std::mt19937_64 gen(7); // violation: raw-rng (direct engine)
+    return static_cast<long>(gen() % 1000);
+}
+
+} // namespace fixture
