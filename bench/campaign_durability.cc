@@ -36,6 +36,11 @@ main(int argc, char **argv)
     draid::campaign::CampaignConfig cfg;
     std::string benchJsonPath = "BENCH_campaign.json";
 
+    bool strictFlags = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--strict-flags") == 0)
+            strictFlags = true;
+    }
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--seed=", 7) == 0) {
@@ -47,8 +52,13 @@ main(int argc, char **argv)
             benchJsonPath = arg + 13;
         } else if (std::strcmp(arg, "--timeline-ascii") == 0) {
             cfg.timelineAscii = true;
+        } else if (std::strcmp(arg, "--strict-flags") == 0) {
+            // Handled by the prescan above.
         } else {
-            std::fprintf(stderr, "warning: unknown flag %s\n", arg);
+            std::fprintf(stderr, "%s: unknown flag %s\n",
+                         strictFlags ? "error" : "warning", arg);
+            if (strictFlags)
+                return 2;
         }
     }
 

@@ -10,6 +10,7 @@
 #include "telemetry/critical_path.h"
 #include "telemetry/exemplar.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/interference.h"
 #include "telemetry/sim_profiler.h"
 #include "telemetry/timeline.h"
 
@@ -73,6 +74,9 @@ bool g_timelineStarted = false;
 /** And for the exemplar JSONL file (one reservoir dump per system). */
 bool g_exemplarsStarted = false;
 
+/** And for the interference JSONL file (one row per tenant mix). */
+bool g_interferenceStarted = false;
+
 /** Busy-fraction sampling period when telemetry is requested. */
 constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
 
@@ -88,6 +92,12 @@ TelemetryOptions
 parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
 {
     TelemetryOptions opts = defaults;
+    // Strict mode must catch typos in flags parsed before it appears on
+    // the command line, so scan for it first.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--strict-flags")
+            opts.strictFlags = true;
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--seed=", 0) == 0)
@@ -118,15 +128,27 @@ parseTelemetryOptions(int argc, char **argv, const TelemetryOptions &defaults)
         else if (arg == "--no-profile") {
             opts.profilePath.clear();
             opts.profileAscii = false;
-        } else if (arg.rfind("--", 0) == 0)
+        } else if (arg.rfind("--tenants=", 0) == 0)
+            opts.tenants = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        else if (arg.rfind("--interference=", 0) == 0)
+            opts.interferencePath = arg.substr(15);
+        else if (arg == "--strict-flags")
+            opts.strictFlags = true;
+        else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr,
-                         "warning: unknown flag %s (known: "
+                         "%s: unknown flag %s (known: "
                          "--seed= --metrics-json= --trace= --trace-sample= "
                          "--exemplars= --bench-json= "
                          "--timeline= --timeline-ascii "
                          "--breakdown --no-flight-recorder "
-                         "--profile= --profile-ascii --no-profile)\n",
+                         "--profile= --profile-ascii --no-profile "
+                         "--tenants= --interference= --strict-flags)\n",
+                         opts.strictFlags ? "error" : "warning",
                          arg.c_str());
+            if (opts.strictFlags)
+                std::exit(2);
+        }
     }
     return opts;
 }
@@ -227,6 +249,12 @@ SystemUnderTest::SystemUnderTest(SystemKind kind, const ArrayConfig &array)
     // order, so simulated output is identical with or without this.
     if (g_telemetry.profiling())
         g_simProfiler.attach(cluster_->sim());
+
+    // Arm per-tenant contention attribution; resources were registered
+    // unconditionally at node instrumentation, enabling only turns the
+    // recording hooks on.
+    if (g_telemetry.interference())
+        cluster_->telemetry().contention().setEnabled(true);
 
     // A bench op timeout is always a bug: dump the ring right away.
     telemetry::FlightRecorder &fr =
@@ -522,23 +550,42 @@ appendTimelineRow(SystemUnderTest &sut, const workload::FioConfig &fio,
     os << "}\n";
 }
 
+/** One interference JSONL row covering the measured tenant mix. */
+void
+appendInterferenceRow(SystemUnderTest &sut, const std::string &label)
+{
+    std::ofstream os(g_telemetry.interferencePath,
+                     g_interferenceStarted ? std::ios::app
+                                           : std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr,
+                     "warning: could not write interference row to %s\n",
+                     g_telemetry.interferencePath.c_str());
+        return;
+    }
+    g_interferenceStarted = true;
+    sut.cluster().telemetry().contention().writeJsonRow(os, label,
+                                                        g_telemetry.seed);
+    os << "\n";
+}
+
 } // namespace
 
-workload::FioResult
-runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
+/** Preload helper shared by runFio and runTenantFio. */
+static void
+preloadSpan(SystemUnderTest &sut, std::uint64_t working_set_bytes)
 {
     auto &dev = sut.device();
     auto &sim = sut.sim();
-
-    if (preload) {
+    {
         // Sequential full-span preload with big writes (full stripes where
         // possible) so the measured region holds real data + parity. The
         // drain waits on the completion count, not on queue exhaustion:
         // recurring controller events (e.g. the §6.2 bandwidth-aware
         // refresh timer) keep the queue occupied forever.
-        const std::uint64_t span = fio.workingSetBytes == 0
+        const std::uint64_t span = working_set_bytes == 0
                                        ? dev.sizeBytes()
-                                       : std::min(fio.workingSetBytes,
+                                       : std::min(working_set_bytes,
                                                   dev.sizeBytes());
         const std::uint32_t io = 4u << 20;
         std::uint64_t pos = 0;
@@ -568,6 +615,16 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
             sim.run();
         }
     }
+}
+
+workload::FioResult
+runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
+{
+    auto &dev = sut.device();
+    auto &sim = sut.sim();
+
+    if (preload)
+        preloadSpan(sut, fio.workingSetBytes);
 
     // Only spans recorded by the measured job feed the analyzer and the
     // timeline; the preload's full-stripe writes would otherwise skew
@@ -631,6 +688,82 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
         }
     }
     return result;
+}
+
+std::vector<workload::FioResult>
+runTenantFio(SystemUnderTest &sut, const std::vector<TenantJob> &jobs,
+             bool preload)
+{
+    auto &dev = sut.device();
+    auto &sim = sut.sim();
+    telemetry::ContentionTracker &ct =
+        sut.cluster().telemetry().contention();
+    ct.setEnabled(true);
+
+    if (preload) {
+        // One preload covering the union of working sets.
+        std::uint64_t span = 0;
+        bool whole = false;
+        for (const TenantJob &j : jobs) {
+            if (j.fio.workingSetBytes == 0)
+                whole = true;
+            span = std::max(span, j.fio.workingSetBytes);
+        }
+        preloadSpan(sut, whole ? 0 : span);
+    }
+
+    // Resolve tenant ids; reusing an existing registration keeps repeated
+    // mixes on one system from exhausting the bounded registry.
+    std::vector<telemetry::TenantId> ids;
+    ids.reserve(jobs.size());
+    for (const TenantJob &j : jobs) {
+        telemetry::TenantId id = telemetry::ContentionTracker::kUntracked;
+        for (std::size_t t = 1; t < ct.tenantCount(); ++t) {
+            if (ct.tenantName(static_cast<telemetry::TenantId>(t)) ==
+                j.name) {
+                id = static_cast<telemetry::TenantId>(t);
+                break;
+            }
+        }
+        if (id == telemetry::ContentionTracker::kUntracked)
+            id = ct.registerTenant(j.name);
+        if (j.sloTargetP99Us > 0)
+            ct.setSloTargetTicks(
+                id, static_cast<sim::Tick>(j.sloTargetP99Us *
+                                           sim::kMicrosecond));
+        ids.push_back(id);
+    }
+
+    // The exported row must cover exactly the measured mix, so the
+    // preload's occupancy, waits and completions are dropped here.
+    ct.resetAccounting();
+
+    std::vector<std::unique_ptr<workload::FioJob>> owned;
+    std::vector<workload::FioJob *> raw;
+    owned.reserve(jobs.size());
+    raw.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        workload::FioConfig seeded = jobs[i].fio;
+        // Distinct deterministic stream per tenant, all derived from the
+        // invocation's --seed.
+        seeded.seed = benchSeed() + i;
+        seeded.tenant = ids[i];
+        seeded.contention = &ct;
+        owned.push_back(
+            std::make_unique<workload::FioJob>(sim, dev, seeded));
+        raw.push_back(owned.back().get());
+    }
+    std::vector<workload::FioResult> results =
+        workload::runConcurrent(sim, raw);
+
+    if (!g_telemetry.interferencePath.empty()) {
+        std::string label =
+            g_currentFigure.empty() ? "bench" : g_currentFigure;
+        label += " ";
+        label += name(sut.kind());
+        appendInterferenceRow(sut, label);
+    }
+    return results;
 }
 
 workload::FioConfig

@@ -91,7 +91,19 @@ struct ArrayConfig
  *   --no-profile           drop the binary's default profile path; used
  *                          by the CI proof that profiling on vs off
  *                          leaves simulated output byte-identical
- * Unrecognized --flags draw a warning on stderr.
+ *   --tenants=<n>          arm per-tenant contention attribution for up
+ *                          to n tenants (runTenantFio() names them); also
+ *                          armed implicitly by --interference=
+ *   --interference=<path>  append one JSON row per measured multi-tenant
+ *                          job: tenant table, victim x aggressor x
+ *                          resource blame matrix (exact ns, sums to the
+ *                          measured queue-wait), windowed per-tenant SLO
+ *                          series with burn-rate flags
+ *   --strict-flags         exit non-zero on any unrecognized --flag
+ *                          instead of warning (CI sets this everywhere so
+ *                          a typo cannot silently run the wrong config)
+ * Unrecognized --flags draw a warning on stderr (fatal under
+ * --strict-flags).
  */
 struct TelemetryOptions
 {
@@ -111,6 +123,12 @@ struct TelemetryOptions
     bool breakdown = false;
     bool flightRecorder = true;
     bool profileAscii = false;
+    /** --tenants=: expected tenant count (0 = attribution off). */
+    std::uint32_t tenants = 0;
+    /** --interference=: JSONL path for the per-job attribution rows. */
+    std::string interferencePath;
+    /** --strict-flags: unknown flags are fatal. */
+    bool strictFlags = false;
 
     bool any() const
     {
@@ -141,6 +159,12 @@ struct TelemetryOptions
     bool exemplarCapture() const
     {
         return !exemplarsPath.empty() || analyzer();
+    }
+
+    /** Whether per-tenant contention attribution is armed. */
+    bool interference() const
+    {
+        return tenants >= 2 || !interferencePath.empty();
     }
 };
 
@@ -209,6 +233,26 @@ class SystemUnderTest
 workload::FioResult runFio(SystemUnderTest &sut,
                            const workload::FioConfig &fio,
                            bool preload = true);
+
+/** One tenant's share of a multi-tenant traffic mix. */
+struct TenantJob
+{
+    std::string name;           ///< tenant label ("victim", "aggr0", ...)
+    workload::FioConfig fio;    ///< this tenant's workload
+    double sloTargetP99Us = 0;  ///< windowed p99 SLO target; 0 = none
+};
+
+/**
+ * Run several tenants' jobs concurrently on one system: preload once,
+ * register each tenant with the contention tracker (resetting the
+ * accounting so the exported matrix covers exactly the measured run),
+ * drive all jobs under a single simulator run, and append one
+ * interference JSON row (--interference=) covering the mix. Results are
+ * returned in @p jobs order.
+ */
+std::vector<workload::FioResult> runTenantFio(SystemUnderTest &sut,
+                                              const std::vector<TenantJob> &jobs,
+                                              bool preload = true);
 
 /** A do-nothing measurement job whose runFio() call only preloads. */
 workload::FioConfig preloadConfig(std::uint64_t working_set_bytes);

@@ -90,7 +90,9 @@ main(int argc, char **argv)
             opts.ascii = true;
         else if (arg == "--no-profile")
             opts.profilePath.clear();
-        else {
+        else if (arg == "--strict-flags") {
+            // micro_simcore is already strict: unknown flags exit 2.
+        } else {
             std::fprintf(stderr,
                          "usage: micro_simcore [--events=N] [--seed=N] "
                          "[--profile=<path>] [--profile-ascii] "

@@ -62,6 +62,10 @@ HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
     if (lat_us)
         lat_us->observe(static_cast<double>(end - start) /
                         sim::kMicrosecond);
+    telemetry::ContentionTracker &ct = cluster_.telemetry().contention();
+    const std::uint32_t tenant = ct.tenantOf(trace);
+    if (ct.enabled())
+        ct.noteOpComplete(trace, end, end - start, bytes);
     telemetry::Tracer &tracer = cluster_.tracer();
     if (trace == 0 || !tracer.active())
         return;
@@ -72,6 +76,7 @@ HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
     span.name = name;
     span.start = start;
     span.end = end;
+    span.tenant = tenant;
     span.args.emplace_back("bytes", std::to_string(bytes));
     // Root op span: routes through the op-completion path (streaming
     // aggregator sink + tail-exemplar reservoir) before retention.
@@ -152,6 +157,7 @@ HostCentricRaid::write(std::uint64_t offset, ec::Buffer data,
 {
     assert(offset + data.size() <= sizeBytes());
     const std::uint64_t trace = cluster_.tracer().mint();
+    cluster_.telemetry().contention().noteOpStart(trace);
     const sim::Tick op_start = cluster_.sim().now();
     const std::uint64_t op_bytes = data.size();
     auto wrapped = [this, cb, trace, op_start,
@@ -895,6 +901,7 @@ HostCentricRaid::read(std::uint64_t offset, std::uint32_t length,
     assert(offset + length <= sizeBytes());
     ++counters_.normalReads;
     const std::uint64_t trace = cluster_.tracer().mint();
+    cluster_.telemetry().contention().noteOpStart(trace);
     const sim::Tick op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/interference.h"
+
 namespace draid::blockdev {
 
 NvmfInitiator::NvmfInitiator(cluster::Cluster &cluster,
@@ -23,6 +25,7 @@ NvmfInitiator::readRemote(std::uint32_t target, std::uint64_t offset,
     c.offset = offset;
     c.length = length;
     c.traceId = trace;
+    c.tenant = cluster_.telemetry().contention().tenantOf(trace);
 
     arm(id, Pending{true, std::move(cb), {}});
     auto &host = cluster_.host();
@@ -46,6 +49,7 @@ NvmfInitiator::writeRemote(std::uint32_t target, std::uint64_t offset,
     c.offset = offset;
     c.length = static_cast<std::uint32_t>(data.size());
     c.traceId = trace;
+    c.tenant = cluster_.telemetry().contention().tenantOf(trace);
 
     arm(id, Pending{false, {}, std::move(cb)});
     auto &host = cluster_.host();

@@ -50,11 +50,25 @@ Cluster::instrumentNode(Node &node)
     node.nic().tx().bindTrace(&tracer, id, "nic.tx");
     node.nic().rx().bindTrace(&tracer, id, "nic.rx");
     node.cpu().bindTrace(&tracer, id);
+
+    // Contention attribution: every FIFO resource registers with the
+    // tracker up front; the hooks stay one predictable branch until the
+    // harness enables the tracker (--tenants= / --interference=).
+    telemetry::ContentionTracker &ct = telemetry_.contention();
+    using RK = telemetry::ContentionTracker::ResourceKind;
+    node.nic().tx().bindContention(&ct,
+                                   ct.registerResource(id, RK::NicTx));
+    node.nic().rx().bindContention(&ct,
+                                   ct.registerResource(id, RK::NicRx));
+    node.cpu().bindContention(&ct, ct.registerResource(id, RK::Cpu));
+
     if (node.hasSsd()) {
         node.ssd().bindTrace(&tracer, id);
         // Media-error discoveries (LatentSectorError) land in the cluster
         // journal with the drive's own node id.
         node.ssd().bindJournal(&telemetry_.journal(), id);
+        node.ssd().bindContention(
+            &ct, ct.registerResource(id, RK::SsdChannel));
     }
 
     // Pull probes over the counters the components already keep; sampling

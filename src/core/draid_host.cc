@@ -41,6 +41,10 @@ DraidHost::DraidHost(cluster::Cluster &cluster, const DraidOptions &options,
     cluster_.fabric().setEndpoint(cluster_.hostId(), this);
 
     setupTelemetry();
+    contention_ = &cluster_.telemetry().contention();
+    lockRes_ = contention_->registerResource(
+        cluster_.hostId(),
+        telemetry::ContentionTracker::ResourceKind::StripeLock);
     writeLocks_.bindJournal(&cluster_.telemetry().journal(),
                             cluster_.hostId(),
                             [this] { return cluster_.sim().now(); });
@@ -101,6 +105,10 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
     if (lat_us)
         lat_us->observe(static_cast<double>(end - start) /
                         sim::kMicrosecond);
+    // Capture the tenant before noteOpComplete releases the binding.
+    const std::uint32_t tenant = contention_->tenantOf(trace);
+    if (contention_->enabled())
+        contention_->noteOpComplete(trace, end, end - start, bytes);
     telemetry::Tracer &tracer = cluster_.tracer();
     if (trace == 0 || !tracer.active())
         return;
@@ -111,6 +119,7 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
     span.name = name;
     span.start = start;
     span.end = end;
+    span.tenant = tenant;
     span.args.emplace_back("bytes", std::to_string(bytes));
     // Root op span: routes through the op-completion path (streaming
     // aggregator sink + tail-exemplar reservoir) before retention.
@@ -134,6 +143,7 @@ DraidHost::recordLockWait(std::uint64_t trace, std::uint64_t stripe,
     span.name = "lock.stripe";
     span.start = since;
     span.end = now;
+    span.tenant = contention_->tenantOf(trace);
     span.args.emplace_back("stripe", std::to_string(stripe));
     tracer.recordSpan(std::move(span));
 }
@@ -253,6 +263,8 @@ DraidHost::sendCapsule(std::uint32_t device, proto::Capsule capsule,
 {
     const sim::NodeId node = nodeOf(device);
     const std::uint64_t trace = capsule.traceId;
+    if (contention_->enabled())
+        capsule.tenant = contention_->tenantOf(trace);
     cluster_.host().cpu().execute(cluster_.config().hostCmdCost,
                                   trace, "host.cmd",
                                   [this, node,
@@ -319,6 +331,7 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
 {
     assert(offset + data.size() <= sizeBytes());
     const std::uint64_t trace = cluster_.tracer().mint();
+    contention_->noteOpStart(trace);
     const sim::Tick op_start = cluster_.sim().now();
     const std::uint64_t op_bytes = data.size();
     auto plans = planner_.plan(offset, data.size());
@@ -345,6 +358,11 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
         }
         const std::uint64_t stripe = plan.stripe;
         sw->done = [this, stripe, remaining, all_ok, wrapped](bool ok) {
+            // Close the hold window before the release hands the lock to
+            // the next waiter, so that waiter's blame split can see it.
+            if (contention_->enabled())
+                contention_->closeOccupancy(lockRes_, cluster_.sim().now(),
+                                            stripe);
             writeLocks_.release(stripe);
             if (!ok)
                 *all_ok = false;
@@ -354,6 +372,16 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
         };
         const sim::Tick lock_req = cluster_.sim().now();
         writeLocks_.acquire(stripe, [this, sw, stripe, lock_req]() {
+            if (contention_->enabled()) {
+                const sim::Tick now = cluster_.sim().now();
+                // Blame the grant delay on the writers that held the lock
+                // (their hold windows tile [lock_req, now) exactly), then
+                // open this writer's own hold window.
+                contention_->attributeWait(lockRes_, sw->traceId, lock_req,
+                                           now, stripe);
+                contention_->openOccupancy(lockRes_, sw->traceId, now,
+                                           stripe);
+            }
             recordLockWait(sw->traceId, stripe, lock_req);
             executeStripeWrite(sw);
         });
@@ -899,6 +927,7 @@ DraidHost::read(std::uint64_t offset, std::uint32_t length,
     assert(offset + length <= sizeBytes());
     ++counters_.normalReads;
     const std::uint64_t trace = cluster_.tracer().mint();
+    contention_->noteOpStart(trace);
     const sim::Tick op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);

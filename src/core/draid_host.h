@@ -285,6 +285,11 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
 
     telemetry::Histogram *readLatencyUs_ = nullptr;
     telemetry::Histogram *writeLatencyUs_ = nullptr;
+
+    /** Contention attribution (tenant dimension): the cluster tracker and
+     *  this host's stripe-lock resource id (key = stripe). */
+    telemetry::ContentionTracker *contention_ = nullptr;
+    std::uint32_t lockRes_ = 0;
 };
 
 /**

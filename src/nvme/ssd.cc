@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "telemetry/event_journal.h"
+#include "telemetry/interference.h"
 #include "telemetry/trace.h"
 
 namespace draid::nvme {
@@ -47,7 +48,9 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
 {
     bytesRead_ += length;
     const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
-    channel_.transfer(scaled(length, config_.readBw / degrade_),
+    // The trace rides into the channel pipe for contention attribution
+    // (the pipe's tracer is never bound, so no duplicate span appears).
+    channel_.transfer(scaled(length, config_.readBw / degrade_), trace,
                       [this, offset, length, cb = std::move(cb)]() {
         const auto latency = static_cast<sim::Tick>(
             static_cast<double>(config_.readLatency) * degrade_);
@@ -80,6 +83,8 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
         span.name = "ssd.read";
         span.start = start;
         span.end = channel_.busyUntil();
+        if (contention_ && contention_->enabled())
+            span.tenant = contention_->tenantOf(trace);
         span.args.emplace_back("bytes", std::to_string(length));
         tracer_->recordSpan(std::move(span));
     }
@@ -98,7 +103,7 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
     const std::uint64_t length = data.size();
     bytesWritten_ += length;
     const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
-    channel_.transfer(scaled(length, config_.writeBw / degrade_),
+    channel_.transfer(scaled(length, config_.writeBw / degrade_), trace,
                       [this, offset, data = std::move(data),
                        cb = std::move(cb)]() {
         const auto latency = static_cast<sim::Tick>(
@@ -130,6 +135,8 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
         span.name = "ssd.write";
         span.start = start;
         span.end = channel_.busyUntil();
+        if (contention_ && contention_->enabled())
+            span.tenant = contention_->tenantOf(trace);
         span.args.emplace_back("bytes", std::to_string(length));
         tracer_->recordSpan(std::move(span));
     }
@@ -140,6 +147,14 @@ Ssd::bindTrace(telemetry::Tracer *tracer, sim::NodeId node)
 {
     tracer_ = tracer;
     traceNode_ = node;
+}
+
+void
+Ssd::bindContention(telemetry::ContentionTracker *tracker,
+                    std::uint32_t res)
+{
+    contention_ = tracker;
+    channel_.bindContention(tracker, res);
 }
 
 void

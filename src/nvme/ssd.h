@@ -25,6 +25,7 @@
 #include "sim/types.h"
 
 namespace draid::telemetry {
+class ContentionTracker;
 class Tracer;
 class EventJournal;
 }
@@ -69,6 +70,14 @@ class Ssd : public blockdev::BlockDevice
 
     /** Attach a span sink; spans land on node @p node, lane "ssd". */
     void bindTrace(telemetry::Tracer *tracer, sim::NodeId node);
+
+    /**
+     * Attach a contention tracker under resource id @p res: traced I/O
+     * records its exact media-channel occupancy and queue-wait blame
+     * (observe-only; see Pipe::bindContention).
+     */
+    void bindContention(telemetry::ContentionTracker *tracker,
+                        std::uint32_t res);
 
     /**
      * Attach the cluster event journal: a read hitting a latent sector
@@ -126,6 +135,7 @@ class Ssd : public blockdev::BlockDevice
     sim::Pipe channel_;
     telemetry::Tracer *tracer_ = nullptr;
     sim::NodeId traceNode_ = 0;
+    telemetry::ContentionTracker *contention_ = nullptr;
     telemetry::EventJournal *journal_ = nullptr;
     sim::NodeId journalNode_ = 0;
     /** Gray-drive service-time multiplier (1.0 = healthy). */

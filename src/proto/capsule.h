@@ -69,6 +69,14 @@ struct Capsule
      */
     std::uint64_t traceId = 0;
 
+    /**
+     * Owning tenant (ContentionTracker id) stamped at the array entry
+     * point; 0 = untracked. Simulation metadata like traceId: excluded
+     * from wireSize()/encode() so the tenant dimension never changes the
+     * bytes charged to the fabric.
+     */
+    std::uint32_t tenant = 0;
+
     bool operator==(const Capsule &) const = default;
 
     /** Bytes this capsule occupies on the wire. */

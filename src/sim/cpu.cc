@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/interference.h"
 #include "telemetry/trace.h"
 
 namespace draid::sim {
@@ -26,6 +27,11 @@ CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
     busyTime_ += cost;
     statsBusy_ += cost;
 
+    if (trace != 0 && contention_ && contention_->enabled()) {
+        contention_->attributeWait(contentionRes_, trace, sim_.now(), start);
+        contention_->noteOccupancy(contentionRes_, trace, start, end);
+    }
+
     if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
@@ -34,6 +40,8 @@ CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
         span.name = what;
         span.start = start;
         span.end = end;
+        if (contention_ && contention_->enabled())
+            span.tenant = contention_->tenantOf(trace);
         tracer_->recordSpan(std::move(span));
     }
 
@@ -67,6 +75,14 @@ CpuCore::bindTrace(telemetry::Tracer *tracer, NodeId node)
 {
     tracer_ = tracer;
     traceNode_ = node;
+}
+
+void
+CpuCore::bindContention(telemetry::ContentionTracker *tracker,
+                        std::uint32_t res)
+{
+    contention_ = tracker;
+    contentionRes_ = res;
 }
 
 double

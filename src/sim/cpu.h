@@ -19,6 +19,7 @@
 #include "sim/types.h"
 
 namespace draid::telemetry {
+class ContentionTracker;
 class Tracer;
 }
 
@@ -58,6 +59,11 @@ class CpuCore
     /** Attach a span sink; spans land on node @p node, lane "cpu". */
     void bindTrace(telemetry::Tracer *tracer, NodeId node);
 
+    /** Attach a contention tracker under resource id @p res (observe-only;
+     *  see Pipe::bindContention). */
+    void bindContention(telemetry::ContentionTracker *tracker,
+                        std::uint32_t res);
+
     /** Total busy ticks accumulated. */
     Tick busyTime() const { return busyTime_; }
 
@@ -71,6 +77,8 @@ class CpuCore
     Simulator &sim_;
     telemetry::Tracer *tracer_ = nullptr;
     NodeId traceNode_ = 0;
+    telemetry::ContentionTracker *contention_ = nullptr;
+    std::uint32_t contentionRes_ = 0;
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;
     Tick statsBusy_ = 0;

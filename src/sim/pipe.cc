@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/interference.h"
 #include "telemetry/trace.h"
 
 namespace draid::sim {
@@ -44,6 +45,13 @@ Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
     bytes_ += bytes;
     ++ops_;
 
+    if (trace != 0 && contention_ && contention_->enabled()) {
+        // FIFO service: [now, start) is exactly tiled by the occupancy
+        // segments already recorded, so the blame split sums to the wait.
+        contention_->attributeWait(contentionRes_, trace, sim_.now(), start);
+        contention_->noteOccupancy(contentionRes_, trace, start, end);
+    }
+
     if (trace != 0 && tracer_ && tracer_->active()) {
         telemetry::TraceSpan span;
         span.traceId = trace;
@@ -52,6 +60,8 @@ Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
         span.name = traceLane_;
         span.start = start;
         span.end = end;
+        if (contention_ && contention_->enabled())
+            span.tenant = contention_->tenantOf(trace);
         span.args.emplace_back("bytes", std::to_string(bytes));
         tracer_->recordSpan(std::move(span));
     }
@@ -69,6 +79,14 @@ Pipe::bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane)
     tracer_ = tracer;
     traceNode_ = node;
     traceLane_ = lane;
+}
+
+void
+Pipe::bindContention(telemetry::ContentionTracker *tracker,
+                     std::uint32_t res)
+{
+    contention_ = tracker;
+    contentionRes_ = res;
 }
 
 double

@@ -24,6 +24,7 @@
 #include "sim/types.h"
 
 namespace draid::telemetry {
+class ContentionTracker;
 class Tracer;
 }
 
@@ -63,6 +64,15 @@ class Pipe
      */
     void bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane);
 
+    /**
+     * Attach a contention tracker under resource id @p res. Observe-only
+     * like bindTrace: while the tracker is enabled, every traced transfer
+     * records its exact channel occupancy and any queue-wait is blamed on
+     * the tenants occupying the channel during the wait.
+     */
+    void bindContention(telemetry::ContentionTracker *tracker,
+                        std::uint32_t res);
+
     /** Change the channel bandwidth (takes effect for future transfers). */
     void setRate(double bytes_per_sec);
 
@@ -100,6 +110,8 @@ class Pipe
     telemetry::Tracer *tracer_ = nullptr;
     NodeId traceNode_ = 0;
     const char *traceLane_ = "";
+    telemetry::ContentionTracker *contention_ = nullptr;
+    std::uint32_t contentionRes_ = 0;
 
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;

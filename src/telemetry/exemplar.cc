@@ -56,6 +56,7 @@ ExemplarReservoir::offer(const TraceSpan &root, std::uint64_t bytes,
     ex.start = root.start;
     ex.end = root.end;
     ex.bytes = bytes;
+    ex.tenant = root.tenant;
     ex.chain = std::move(chain);
     held_[root.traceId] = {idx, slot};
     ++kept_;
@@ -178,10 +179,11 @@ writeExemplarsJsonl(std::ostream &os, const ExemplarReservoir &res)
         const CriticalPathReport report = analyzeCriticalPath(e->chain);
         std::snprintf(buf, sizeof(buf),
                       "{\"trace\":%" PRIu64 ",\"name\":\"%s\","
+                      "\"tenant_id\":%u,"
                       "\"window_start\":%" PRId64 ",\"start\":%" PRId64
                       ",\"end\":%" PRId64 ",\"latency_us\":%.3f,"
                       "\"bytes\":%" PRIu64 ",\"spans\":%zu",
-                      e->traceId, e->name.c_str(),
+                      e->traceId, e->name.c_str(), e->tenant,
                       (e->end / res.windowTicks()) * res.windowTicks(),
                       e->start, e->end,
                       static_cast<double>(e->latency()) / sim::kMicrosecond,

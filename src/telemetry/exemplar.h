@@ -52,6 +52,7 @@ class ExemplarReservoir
         sim::Tick start = 0;
         sim::Tick end = 0;
         std::uint64_t bytes = 0;
+        std::uint32_t tenant = 0; ///< owning tenant; 0 = untracked
         /** Every span recorded under the trace id, in record order; the
          *  root op span is last. */
         std::vector<TraceSpan> chain;

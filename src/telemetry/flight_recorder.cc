@@ -125,6 +125,7 @@ FlightRecorder::record(const TraceSpan &span)
     Record rec;
     rec.traceId = span.traceId;
     rec.node = span.node;
+    rec.tenant = span.tenant;
     rec.lane = span.lane;
     copyName(rec.name, span.name.c_str());
     rec.start = span.start;
@@ -185,8 +186,9 @@ FlightRecorder::dump(std::ostream &os, std::size_t max_records) const
         const Record &r = records[i];
         std::snprintf(line, sizeof(line),
                       "  [%12" PRId64 " .. %12" PRId64 " ns] node%-3u "
-                      "%-7s %-22s trace=%" PRIu64 "\n",
-                      r.start, r.end, r.node, r.lane, r.name, r.traceId);
+                      "%-7s %-22s trace=%" PRIu64 " tenant=%u\n",
+                      r.start, r.end, r.node, r.lane, r.name, r.traceId,
+                      r.tenant);
         os << line;
     }
 }
@@ -204,13 +206,13 @@ FlightRecorder::writeChromeTrace(std::ostream &os) const
         std::snprintf(buf, sizeof(buf),
                       "\n{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"flight\","
                       "\"pid\":%u,\"tid\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
-                      "\"args\":{\"trace\":%" PRIu64 "}}",
+                      "\"args\":{\"trace\":%" PRIu64 ",\"tenant\":%u}}",
                       r.name, r.node, r.lane,
                       static_cast<double>(r.start) / 1000.0,
                       static_cast<double>(r.end >= r.start ? r.end - r.start
                                                            : 0) /
                           1000.0,
-                      r.traceId);
+                      r.traceId, r.tenant);
         os << buf;
     }
     os << "\n]}";

@@ -37,7 +37,8 @@ class FlightRecorder
     {
         std::uint64_t traceId = 0;
         sim::NodeId node = 0;
-        const char *lane = ""; ///< static string from the recording site
+        std::uint32_t tenant = 0; ///< owning tenant; 0 = untracked
+        const char *lane = "";    ///< static string from the recording site
         char name[24] = "";
         sim::Tick start = 0;
         sim::Tick end = 0;

@@ -171,7 +171,7 @@ std::uint64_t
 Telemetry::retainedTelemetryBytes() const
 {
     return tracer_.retainedBytes() + exemplars_.retainedBytes() +
-           sampler_.retainedBytes() +
+           sampler_.retainedBytes() + contention_.retainedBytes() +
            recorder_.size() * sizeof(FlightRecorder::Record) +
            journal_.size() * sizeof(EventJournal::Event);
 }

@@ -20,6 +20,7 @@
 #include "sim/simulator.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/exemplar.h"
+#include "telemetry/interference.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -125,6 +126,7 @@ class Telemetry
     {
         tracer_.bindFlightRecorder(&recorder_);
         tracer_.bindExemplars(&exemplars_);
+        contention_.bindMetrics(&metrics_);
     }
 
     MetricsRegistry &metrics() { return metrics_; }
@@ -140,6 +142,9 @@ class Telemetry
     /** Tail-exemplar reservoir (disabled until the harness enables it). */
     ExemplarReservoir &exemplars() { return exemplars_; }
     const ExemplarReservoir &exemplars() const { return exemplars_; }
+    /** Per-tenant contention attribution (disabled until enabled). */
+    ContentionTracker &contention() { return contention_; }
+    const ContentionTracker &contention() const { return contention_; }
 
     /**
      * Approximate heap bytes retained across every telemetry store
@@ -172,6 +177,7 @@ class Telemetry
     FlightRecorder recorder_;
     EventJournal journal_;
     ExemplarReservoir exemplars_;
+    ContentionTracker contention_;
 };
 
 } // namespace draid::telemetry

@@ -288,6 +288,8 @@ Tracer::writeChromeTrace(std::ostream &os) const
         os << ",\"dur\":";
         writeMicros(os, s.end >= s.start ? s.end - s.start : 0);
         os << ",\"args\":{\"trace\":" << s.traceId;
+        if (s.tenant != 0)
+            os << ",\"tenant\":" << s.tenant;
         for (const auto &[k, v] : s.args) {
             os << ",";
             writeJsonString(os, k);

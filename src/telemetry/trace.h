@@ -47,6 +47,8 @@ struct TraceSpan
     std::string name;          ///< e.g. "draid.write", "ssd.read"
     sim::Tick start = 0;
     sim::Tick end = 0;
+    /** Owning tenant (ContentionTracker id); 0 = untracked. */
+    std::uint32_t tenant = 0;
     /** Small key/value payload shown in the trace viewer. */
     std::vector<std::pair<std::string, std::string>> args;
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/interference.h"
+
 namespace draid::workload {
 
 FioJob::FioJob(sim::Simulator &sim, blockdev::BlockDevice &dev,
@@ -32,15 +34,28 @@ FioJob::pickOffset()
 FioResult
 FioJob::run()
 {
+    start([this] { sim_.stop(); });
+    sim_.run();
+    return result();
+}
+
+void
+FioJob::start(std::function<void()> on_all_complete)
+{
+    onAllComplete_ = std::move(on_all_complete);
     latency_.clear();
     meter_.start(sim_.now());
 
     const int depth = std::min<std::uint64_t>(cfg_.ioDepth, cfg_.numOps);
     for (int i = 0; i < depth; ++i)
         issueNext();
-    sim_.run();
+    if (cfg_.numOps == 0 && onAllComplete_)
+        onAllComplete_();
+}
 
-    meter_.finish(sim_.now());
+FioResult
+FioJob::result() const
+{
     FioResult r;
     r.bandwidthMBps = meter_.bandwidthMBps();
     r.kiops = meter_.kiops();
@@ -64,6 +79,11 @@ FioJob::issueNext()
     const std::uint64_t offset = pickOffset();
     const sim::Tick t0 = sim_.now();
     const std::uint32_t bytes = cfg_.ioSize;
+
+    // Mark the issuing tenant so the op minted inside read()/write()
+    // binds to it for contention attribution.
+    if (cfg_.contention != nullptr)
+        cfg_.contention->setCurrentTenant(cfg_.tenant);
 
     if (rng_.nextBool(cfg_.readRatio)) {
         dev_.read(offset, bytes,
@@ -91,8 +111,38 @@ FioJob::onComplete(sim::Tick issued, std::uint32_t bytes, bool ok)
     if (issued_ < cfg_.numOps) {
         issueNext();
     } else if (completed_ == cfg_.numOps) {
-        sim_.stop();
+        meter_.finish(sim_.now());
+        if (onAllComplete_)
+            onAllComplete_();
     }
+}
+
+std::vector<FioResult>
+runConcurrent(sim::Simulator &sim, std::vector<FioJob *> jobs)
+{
+    std::size_t remaining = 0;
+    for (FioJob *job : jobs) {
+        if (job != nullptr)
+            ++remaining;
+    }
+    // A zero-op job completes inside start(), decrementing immediately;
+    // counting every job first keeps the countdown exact either way.
+    for (FioJob *job : jobs) {
+        if (job == nullptr)
+            continue;
+        job->start([&sim, &remaining] {
+            if (--remaining == 0)
+                sim.stop();
+        });
+    }
+    if (remaining > 0)
+        sim.run();
+
+    std::vector<FioResult> out;
+    out.reserve(jobs.size());
+    for (FioJob *job : jobs)
+        out.push_back(job != nullptr ? job->result() : FioResult{});
+    return out;
 }
 
 } // namespace draid::workload

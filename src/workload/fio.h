@@ -10,11 +10,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "blockdev/block_device.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+
+namespace draid::telemetry {
+class ContentionTracker;
+}
 
 namespace draid::workload {
 
@@ -41,6 +46,16 @@ struct FioConfig
      * read sweeps of Fig. 17.
      */
     std::function<std::uint64_t(sim::Rng &)> offsetPicker;
+
+    /**
+     * Tenant (== volume) dimension for contention attribution: when
+     * @p contention is set, the job marks @p tenant as the current tenant
+     * before every issue, so the op minted at the array entry point binds
+     * to it and every queue-wait it suffers is blamed per aggressor
+     * tenant. Both default off — existing jobs are unchanged.
+     */
+    std::uint32_t tenant = 0;
+    telemetry::ContentionTracker *contention = nullptr;
 };
 
 /** Job results in the paper's units. */
@@ -68,6 +83,18 @@ class FioJob
      */
     FioResult run();
 
+    /**
+     * Concurrent-mode start: issue the initial depth without running the
+     * simulator; @p on_all_complete fires when the last op completes (the
+     * caller owns the run loop). Use runConcurrent() for the common case.
+     */
+    void start(std::function<void()> on_all_complete);
+
+    /** Results so far (complete once on_all_complete has fired). */
+    FioResult result() const;
+
+    bool done() const { return completed_ >= cfg_.numOps; }
+
   private:
     void issueNext();
     void onComplete(sim::Tick issued, std::uint32_t bytes, bool ok);
@@ -85,7 +112,16 @@ class FioJob
     std::uint64_t seqPos_ = 0;
     sim::LatencyRecorder latency_;
     sim::ThroughputMeter meter_;
+    std::function<void()> onAllComplete_;
 };
+
+/**
+ * Run several jobs concurrently on one simulator (multi-tenant traffic
+ * mixes): every job issues its initial depth, the simulator runs until
+ * the last job drains, and each job's own stats are returned in order.
+ */
+std::vector<FioResult> runConcurrent(sim::Simulator &sim,
+                                     std::vector<FioJob *> jobs);
 
 } // namespace draid::workload
 

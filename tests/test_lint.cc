@@ -129,6 +129,26 @@ TEST(DraidLint, RawRngFiresOnRngInTelemetryScope)
         << r.output;
 }
 
+// The draw-free bar extends to the contention-attribution sources: the
+// FIFO pipes, CPU cores and stripe locks whose occupancy records feed
+// ContentionTracker. An Rng draw there would perturb the recorded
+// segments and break BENCH_interference.json's double-run determinism.
+TEST(DraidLint, RawRngFiresOnRngInAttributionSources)
+{
+    const LintRun pipe = lintFixture("src/sim/pipe_rng.cc");
+    EXPECT_EQ(pipe.exitCode, 1);
+    EXPECT_NE(pipe.output.find("src/sim/pipe_rng.cc:8: raw-rng:"),
+              std::string::npos)
+        << pipe.output;
+
+    const LintRun lock = lintFixture("src/raid/stripe_lock_rng.cc");
+    EXPECT_EQ(lock.exitCode, 1);
+    EXPECT_NE(
+        lock.output.find("src/raid/stripe_lock_rng.cc:7: raw-rng:"),
+        std::string::npos)
+        << lock.output;
+}
+
 // ... and the replacement idiom — head sampling by a seeded hash of the
 // trace id — lints clean in the same scope.
 TEST(DraidLint, HashBasedSamplerIsCleanInTelemetryScope)

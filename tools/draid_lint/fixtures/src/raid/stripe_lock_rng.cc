@@ -1,0 +1,12 @@
+namespace fixture {
+
+// Stripe-lock grant order feeds keyed occupancy segments; randomizing a
+// grant would break both FIFO attribution (waits must tile exactly) and
+// the determinism gate on the exported blame matrix.
+unsigned
+pickWaiter(sim::Rng &rng, unsigned waiters) // violation: draw-free scope
+{
+    return static_cast<unsigned>(rng.nextBounded(waiters));
+}
+
+} // namespace fixture

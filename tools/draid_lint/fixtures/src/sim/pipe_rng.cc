@@ -1,0 +1,13 @@
+namespace fixture {
+
+// A contention-attribution source must not draw engine randomness: a
+// jittered service start here would change the recorded occupancy
+// windows, and the exported interference row would stop being
+// byte-identical across same-seed runs.
+long
+jitteredStart(sim::Rng &rng, long busy_until) // violation: draw-free scope
+{
+    return busy_until + static_cast<long>(rng.nextBounded(16));
+}
+
+} // namespace fixture

@@ -204,9 +204,17 @@ ruleRawRng(const FileUnit &u, const RuleSink &sink)
     // AT ALL, not even through sim::Rng — a trace-sampling decision
     // backed by an engine draw would shift the deterministic seed chain
     // and perturb the simulation it is observing. Sampling decisions
-    // hash the trace id instead (telemetry/sampling.h).
+    // hash the trace id instead (telemetry/sampling.h). The contention
+    // attribution sources (FIFO pipes, CPU cores, stripe locks — the
+    // files that feed ContentionTracker occupancy/wait records) carry
+    // the same bar: their recording hooks must stay a pure function of
+    // the event stream or BENCH_interference.json stops being
+    // byte-identical across same-seed runs.
     const bool telemetryScope =
-        u.relPath.rfind("src/telemetry/", 0) == 0;
+        u.relPath.rfind("src/telemetry/", 0) == 0 ||
+        u.relPath.rfind("src/sim/pipe", 0) == 0 ||
+        u.relPath.rfind("src/sim/cpu", 0) == 0 ||
+        u.relPath.rfind("src/raid/stripe_lock", 0) == 0;
     for (std::size_t i = 0; i < u.tokens.size(); ++i) {
         if (!isIdent(u, i))
             continue;
