@@ -430,9 +430,9 @@ figRebuildInterference(const std::string &figure)
     rebuild.registerMetrics(
         sut.cluster().nodeScope(sut.cluster().hostId()).scope("rebuild"));
 
-    sim::Tick rebuild_start = 0;
-    sim::Tick rebuild_end = 0;
-    sut.sim().schedule(8 * sim::kMillisecond, [&] {
+    sim::Ticks rebuild_start = sim::Ticks::zero();
+    sim::Ticks rebuild_end = sim::Ticks::zero();
+    sut.sim().schedule(sim::Ticks::ms(8), [&] {
         sut.markFailed(0);
         rebuild_start = sut.sim().now();
         rebuild.start([&](bool) {
@@ -452,7 +452,7 @@ figRebuildInterference(const std::string &figure)
         sut.sim().run(); // drain a rebuild that outlasted the foreground
 
     printRow({r.bandwidthMBps, r.p99LatencyUs, rebuild.throughputMBps(),
-              static_cast<double>(rebuild_end - rebuild_start) /
+              static_cast<double>((rebuild_end - rebuild_start).raw()) /
                   sim::kMillisecond,
               static_cast<double>(sut.draidHost()->counters().degradedReads)});
     printNote("rebuild window: foreground goodput dips while the array "

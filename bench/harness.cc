@@ -78,7 +78,7 @@ bool g_exemplarsStarted = false;
 bool g_interferenceStarted = false;
 
 /** Busy-fraction sampling period when telemetry is requested. */
-constexpr sim::Tick kUtilSampleInterval = 100 * sim::kMicrosecond;
+constexpr sim::Ticks kUtilSampleInterval = sim::Ticks::us(100);
 
 const char *
 levelName(raid::RaidLevel level)
@@ -631,13 +631,13 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
     // the breakdown.
     const std::size_t span_base =
         sut.cluster().tracer().spans().size();
-    const sim::Tick job_start = sim.now();
+    const sim::Tick job_start = sim.now().raw();
 
     // Streaming aggregation: the timeline is fed one op at a time as it
     // completes (adaptive bin width), not rebuilt from retained spans —
     // so its windowed stats stay exact even when --trace-sample= retains
     // almost nothing, and its memory is O(bins), not O(ops).
-    telemetry::WindowedAggregator streamed(/*window_ticks=*/0);
+    telemetry::WindowedAggregator streamed(sim::Ticks::zero());
     if (g_telemetry.timeline())
         sut.cluster().tracer().bindOpSink(&streamed);
 
@@ -666,14 +666,14 @@ runFio(SystemUnderTest &sut, const workload::FioConfig &fio, bool preload)
                 printBreakdownTable(sut, fio, result, report);
             if (!g_telemetry.benchJsonPath.empty())
                 appendBenchJsonRow(sut, fio, result, report, job_start,
-                                   sim.now() + 1);
+                                   sim.now().raw() + 1);
         }
         if (g_telemetry.timeline()) {
             const telemetry::Telemetry &tel = sut.cluster().telemetry();
             const telemetry::TimelineReport report =
                 telemetry::buildTimeline(
                     streamed,
-                    tel.journal().snapshotRange(job_start, sim.now() + 1),
+                    tel.journal().snapshotRange(job_start, sim.now().raw() + 1),
                     tel.sampler().samples(), sut.cluster().hostId());
             if (g_telemetry.timelineAscii) {
                 std::ostringstream ss;

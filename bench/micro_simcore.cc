@@ -52,7 +52,7 @@ runNoopPump(draid::telemetry::SimProfiler &profiler, std::uint64_t events)
     for (std::uint64_t i = 0; i < events; ++i) {
         const draid::sim::Tick when =
             static_cast<draid::sim::Tick>(i / kBatchWidth);
-        sim.scheduleAt(when, "micro.noop", []() {});
+        sim.scheduleAt(draid::sim::Ticks{when}, "micro.noop", []() {});
     }
     sim.run();
 }
@@ -66,9 +66,9 @@ runChainPump(draid::telemetry::SimProfiler &profiler, std::uint64_t events)
     // Self-rescheduling chain: exactly one event in the heap at a time.
     std::function<void()> step = [&]() {
         if (--remaining > 0)
-            sim.schedule(1, "micro.chain", step);
+            sim.schedule(draid::sim::Ticks{1}, "micro.chain", step);
     };
-    sim.schedule(1, "micro.chain", step);
+    sim.schedule(draid::sim::Ticks{1}, "micro.chain", step);
     sim.run();
 }
 

@@ -17,7 +17,7 @@ runClosedLoop(sim::Simulator &sim, std::uint64_t num_ops, int depth,
         std::uint64_t issued = 0;
         std::uint64_t completed = 0;
         sim::LatencyRecorder latency;
-        sim::Tick begin = 0;
+        sim::Ticks begin = sim::Ticks::zero();
     };
     auto st = std::make_shared<State>();
     st->begin = sim.now();
@@ -29,7 +29,7 @@ runClosedLoop(sim::Simulator &sim, std::uint64_t num_ops, int depth,
         if (st->issued >= num_ops)
             return;
         ++st->issued;
-        const sim::Tick t0 = sim.now();
+        const sim::Ticks t0 = sim.now();
         issue([&sim, st, num_ops, t0, pump_ptr]() {
             st->latency.record(sim.now() - t0);
             if (++st->completed == num_ops) {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# ci/lint.sh — build (or reuse) the draid_lint binary and run the full
+# repo scan. Single entry point for the CI lint job and the documented
+# pre-commit hook, so both enforce the same budget and rule set.
+#
+# Environment knobs:
+#   BUILD_DIR    build tree holding the lint binary (default: build-lint)
+#   LINT_FORMAT  --format value: text | json | github (default: text)
+#   LINT_REPORT  when set, also write the JSON report to this path
+#   LINT_BUDGET  allow() suppression budget (default: 12)
+#
+# Extra arguments pass through to draid_lint (e.g. a path subset).
+# Exit: 0 clean, 1 violations/over-budget/over-time, 2 usage error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-lint}"
+LINT_FORMAT="${LINT_FORMAT:-text}"
+LINT_BUDGET="${LINT_BUDGET:-12}"
+BIN="$BUILD_DIR/tools/draid_lint/draid_lint"
+
+if [ ! -x "$BIN" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$BUILD_DIR" --target draid_lint -j"$(nproc)" >/dev/null
+fi
+
+args=(--max-suppressions="$LINT_BUDGET" --format="$LINT_FORMAT")
+if [ -n "${LINT_REPORT:-}" ]; then
+    args+=(--report="$LINT_REPORT")
+fi
+
+start=$(date +%s)
+status=0
+"$BIN" "${args[@]}" "$@" || status=$?
+elapsed=$(( $(date +%s) - start ))
+echo "draid-lint wall-clock: ${elapsed}s" >&2
+
+# The scan is a per-commit gate; if it cannot finish inside a minute it
+# has regressed badly enough to fail the job outright.
+if [ "$elapsed" -ge 60 ]; then
+    echo "draid-lint exceeded the 60s wall-clock budget" >&2
+    exit 1
+fi
+exit "$status"

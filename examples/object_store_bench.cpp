@@ -35,7 +35,7 @@ runYcsbA(cluster::Cluster &cluster, app::ObjectStore &store,
                                 workload::YcsbDistribution::kUniform,
                                 objects, 99);
     sim::LatencyRecorder lat;
-    const sim::Tick begin = cluster.sim().now();
+    const sim::Ticks begin = cluster.sim().now();
     std::uint64_t issued = 0, completed = 0;
 
     std::function<void()> next = [&]() {
@@ -43,7 +43,7 @@ runYcsbA(cluster::Cluster &cluster, app::ObjectStore &store,
             return;
         ++issued;
         const auto op = gen.next();
-        const sim::Tick t0 = cluster.sim().now();
+        const sim::Ticks t0 = cluster.sim().now();
         auto finish = [&, t0]() {
             lat.record(cluster.sim().now() - t0);
             if (++completed == ops)

@@ -39,8 +39,8 @@ struct MiniKvConfig
     std::uint64_t memtableBytes = 8ull << 20;
     std::uint32_t l0CompactTrigger = 4;
     std::uint32_t walBatchOps = 32;
-    sim::Tick walBatchDelay = 20 * sim::kMicrosecond;
-    sim::Tick opCpuCost = 1500; ///< per-op CPU (locks, skiplist, encode)
+    sim::Ticks walBatchDelay = sim::Ticks::us(20);
+    sim::Ticks opCpuCost = sim::Ticks{1500}; ///< per-op CPU (locks, skiplist, encode)
     std::uint64_t walRegionBytes = 256ull << 20;
     std::uint32_t flushIoBytes = 1 << 20; ///< sequential flush chunk
     std::uint64_t blockCacheBytes = 16ull << 20; ///< LRU cache of 4KB blocks
@@ -98,27 +98,34 @@ class MiniKv
 
     // WAL ring.
     std::uint64_t walHead_ = 0;
+    // draid-lint: cap(cfg_.walBatchOps; flushed at the batch delay)
     std::vector<std::pair<std::uint64_t, PutCallback>> walBatch_;
     bool walTimerArmed_ = false;
     bool walWriteInFlight_ = false;
 
     // Memtable: key -> present (values synthetic, sized cfg_.valueSize).
+    // draid-lint: cap(cfg_.memtableBytes / value size; flushed on overflow)
     std::unordered_map<std::uint64_t, bool> memtable_;
     std::uint64_t memtableBytes_ = 0;
     bool flushInFlight_ = false;
     bool compactionInFlight_ = false;
 
     // SST index: key -> device block address; plus run bookkeeping.
+    // draid-lint: cap(one entry per live key; bounded by the workload keyspace)
     std::unordered_map<std::uint64_t, std::uint64_t> sstIndex_;
+    // draid-lint: cap(cfg_.l0CompactTrigger; compaction merges into L1)
     std::vector<SstEntry> level0_;
+    // draid-lint: cap(runs covering the keyspace; rewritten per compaction)
     std::vector<SstEntry> level1_;
     std::uint64_t sstAllocator_; ///< bump allocator past the WAL region
 
     // LRU block cache: block address -> position in the LRU list.
     void cacheTouch(std::uint64_t block);
     bool cacheContains(std::uint64_t block) const;
+    // draid-lint: cap(cfg_.blockCacheBytes / 4KB block; LRU-evicted)
     std::list<std::uint64_t> cacheLru_;
     std::unordered_map<std::uint64_t,
+                       // draid-lint: cap(mirrors cacheLru_; same blockCacheBytes bound)
                        std::list<std::uint64_t>::iterator> cacheMap_;
 };
 

@@ -52,7 +52,9 @@ class ObjectStore
     blockdev::BlockDevice &dev_;
     std::uint32_t objectSize_;
     std::uint64_t slots_;
+    // draid-lint: cap(slots_; one mapping per allocated slot)
     std::unordered_map<std::uint64_t, std::uint64_t> index_; ///< id -> slot
+    // draid-lint: cap(slots_; at most one owner per slot)
     std::unordered_map<std::uint64_t, std::uint64_t> slotOwner_;
 };
 

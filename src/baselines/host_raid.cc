@@ -55,17 +55,17 @@ HostCentricRaid::HostCentricRaid(cluster::Cluster &cluster,
 
 void
 HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
-                              sim::Tick start, std::uint64_t bytes,
+                              sim::Ticks start, std::uint64_t bytes,
                               telemetry::Histogram *lat_us)
 {
-    const sim::Tick end = cluster_.sim().now();
+    const sim::Ticks end = cluster_.sim().now();
     if (lat_us)
-        lat_us->observe(static_cast<double>(end - start) /
+        lat_us->observe(static_cast<double>((end - start).raw()) /
                         sim::kMicrosecond);
     telemetry::ContentionTracker &ct = cluster_.telemetry().contention();
     const std::uint32_t tenant = ct.tenantOf(trace);
     if (ct.enabled())
-        ct.noteOpComplete(trace, end, end - start, bytes);
+        ct.noteOpComplete(trace, end.raw(), (end - start).raw(), bytes);
     telemetry::Tracer &tracer = cluster_.tracer();
     if (trace == 0 || !tracer.active())
         return;
@@ -74,8 +74,8 @@ HostCentricRaid::finishOpSpan(std::uint64_t trace, const char *name,
     span.node = cluster_.hostId();
     span.lane = "op";
     span.name = name;
-    span.start = start;
-    span.end = end;
+    span.start = start.raw();
+    span.end = end.raw();
     span.tenant = tenant;
     span.args.emplace_back("bytes", std::to_string(bytes));
     // Root op span: routes through the op-completion path (streaming
@@ -108,7 +108,7 @@ void
 HostCentricRaid::chargeDataPath(std::uint64_t bytes, sim::EventFn fn,
                                 std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.dataPathBw, 0, trace,
+    cluster_.host().cpu().executeBytes(bytes, tuning_.dataPathBw, sim::Ticks::zero(), trace,
                                        "host.datapath", std::move(fn));
 }
 
@@ -116,7 +116,7 @@ void
 HostCentricRaid::chargeReadPath(std::uint64_t bytes, sim::EventFn fn,
                                 std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.readPathBw, 0, trace,
+    cluster_.host().cpu().executeBytes(bytes, tuning_.readPathBw, sim::Ticks::zero(), trace,
                                        "host.readpath", std::move(fn));
 }
 
@@ -124,7 +124,7 @@ void
 HostCentricRaid::chargeXor(std::uint64_t bytes, sim::EventFn fn,
                            std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.xorBw, 0, trace,
+    cluster_.host().cpu().executeBytes(bytes, tuning_.xorBw, sim::Ticks::zero(), trace,
                                        "parity.xor", std::move(fn));
 }
 
@@ -132,7 +132,7 @@ void
 HostCentricRaid::chargeGf(std::uint64_t bytes, sim::EventFn fn,
                           std::uint64_t trace)
 {
-    cluster_.host().cpu().executeBytes(bytes, tuning_.gfBw, 0, trace,
+    cluster_.host().cpu().executeBytes(bytes, tuning_.gfBw, sim::Ticks::zero(), trace,
                                        "parity.gf", std::move(fn));
 }
 
@@ -158,7 +158,7 @@ HostCentricRaid::write(std::uint64_t offset, ec::Buffer data,
     assert(offset + data.size() <= sizeBytes());
     const std::uint64_t trace = cluster_.tracer().mint();
     cluster_.telemetry().contention().noteOpStart(trace);
-    const sim::Tick op_start = cluster_.sim().now();
+    const sim::Ticks op_start = cluster_.sim().now();
     const std::uint64_t op_bytes = data.size();
     auto wrapped = [this, cb, trace, op_start,
                     op_bytes](blockdev::IoStatus st) {
@@ -324,6 +324,7 @@ HostCentricRaid::doDegradedTargeted(std::shared_ptr<StripeWrite> sw,
 
     struct Ctx
     {
+        // draid-lint: cap(stripe width; one slice per parity update)
         std::vector<std::pair<std::uint32_t, ec::Buffer>> slices;
         int remaining = 0;
         bool ok = true;
@@ -515,6 +516,7 @@ HostCentricRaid::doRmw(std::shared_ptr<StripeWrite> sw)
         int remaining = 0;
         bool ok = true;
         std::optional<std::uint32_t> suspect;
+        // draid-lint: cap(stripe width; preread of touched chunks)
         std::vector<ec::Buffer> oldSegs;
         ec::Buffer oldP;
         ec::Buffer oldQ;
@@ -678,6 +680,7 @@ HostCentricRaid::doRcw(std::shared_ptr<StripeWrite> sw,
     // written chunks, read for untouched ones, supplied for a failed one.
     struct Ctx
     {
+        // draid-lint: cap(stripe width; one buffer per data chunk)
         std::vector<ec::Buffer> chunks;
         int remaining = 0;
         bool ok = true;
@@ -902,7 +905,7 @@ HostCentricRaid::read(std::uint64_t offset, std::uint32_t length,
     ++counters_.normalReads;
     const std::uint64_t trace = cluster_.tracer().mint();
     cluster_.telemetry().contention().noteOpStart(trace);
-    const sim::Tick op_start = cluster_.sim().now();
+    const sim::Ticks op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);
 
@@ -1034,6 +1037,7 @@ HostCentricRaid::degradedStripeRead(std::uint64_t stripe,
 
     struct Ctx
     {
+        // draid-lint: cap(stripe width; recon-range slices)
         std::vector<ec::Buffer> recon; ///< recon-range slices to XOR
         int remaining = 0;
         bool ok = true;
@@ -1158,7 +1162,7 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
 {
     assert(failed_);
     const std::uint64_t trace = cluster_.tracer().mint();
-    const sim::Tick op_start = cluster_.sim().now();
+    const sim::Ticks op_start = cluster_.sim().now();
     done = [this, trace, op_start, inner = std::move(done),
             chunk_bytes = geom_.chunkSize()](bool ok) {
         finishOpSpan(trace, "raid.reconstruct", op_start, chunk_bytes,
@@ -1182,7 +1186,9 @@ HostCentricRaid::reconstructChunk(std::uint64_t stripe,
 
     struct Ctx
     {
+        // draid-lint: cap(stripe width; one buffer per surviving device)
         std::vector<ec::Buffer> bufs;
+        // draid-lint: cap(parallel to bufs; stripe width)
         std::vector<std::uint32_t> idxs; ///< data index per buf (Q rebuild)
         int remaining = 0;
         bool ok = true;

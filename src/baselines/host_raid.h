@@ -37,10 +37,10 @@ namespace draid::baselines {
 struct HostRaidTuning
 {
     /** Extra fixed host CPU per user operation (kernel path for MD). */
-    sim::Tick perOpCost = 0;
+    sim::Ticks perOpCost = sim::Ticks::zero();
 
     /** Stripe lock acquire+release CPU cost; 0 disables the charge. */
-    sim::Tick lockCost = 0;
+    sim::Ticks lockCost = sim::Ticks::zero();
 
     /** Whether normal reads take the stripe lock (SPDK POC does, §8). */
     bool lockReads = false;
@@ -65,7 +65,7 @@ struct HostRaidTuning
     double gfBw = 6e9;
 
     /** Fixed extra submission latency per user op (kernel I/O stack). */
-    sim::Tick queueDelay = 0;
+    sim::Ticks queueDelay = sim::Ticks::zero();
 
     /**
      * Multiplier on the data-path charge of degraded-read reconstruction.
@@ -125,6 +125,7 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
     struct StripeWrite
     {
         raid::StripeWritePlan plan;
+        // draid-lint: cap(plan.writes; at most stripe width)
         std::vector<ec::Buffer> segData;
         int retriesLeft = 0;
         std::optional<std::uint32_t> suspect; ///< device that timed out
@@ -185,7 +186,7 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
      * host-side "op" lane span covering it.
      */
     void finishOpSpan(std::uint64_t trace, const char *name,
-                      sim::Tick start, std::uint64_t bytes,
+                      sim::Ticks start, std::uint64_t bytes,
                       telemetry::Histogram *lat_us);
 
     cluster::Cluster &cluster_;
@@ -198,6 +199,7 @@ class HostCentricRaid : public blockdev::BlockDevice, public net::Endpoint
     raid::StripeLockTable locks_;
     std::optional<std::uint32_t> failed_;
     HostRaidCounters counters_;
+    // draid-lint: cap(one NVMf target per member device; fixed topology)
     std::vector<std::unique_ptr<blockdev::NvmfTarget>> targets_;
     telemetry::Histogram *readLatencyUs_ = nullptr;
     telemetry::Histogram *writeLatencyUs_ = nullptr;

@@ -9,13 +9,13 @@ LinuxMdRaid::tuning(const cluster::TestbedConfig &cfg, std::uint32_t width)
 {
     HostRaidTuning t;
     t.perOpCost = cfg.mdRequestCost; // block-layer request handling
-    t.lockCost = 0;
+    t.lockCost = sim::Ticks::zero();
     t.lockReads = false;
     // Single md thread: every byte goes through 4 KB stripe-cache pages
     // whose handling cost scales with the stripe width (each stripe-head
     // tracks per-device strip state).
     const double page_cost_ns =
-        static_cast<double>(cfg.mdPageCost) *
+        static_cast<double>(cfg.mdPageCost.raw()) *
         (0.45 + 0.07 * static_cast<double>(width));
     t.dataPathBw = 4096.0 / (page_cost_ns * 1e-9);
     // Reads bypass the stripe cache: only bio handling per page.

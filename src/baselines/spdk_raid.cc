@@ -6,14 +6,14 @@ HostRaidTuning
 SpdkRaid::tuning(const cluster::TestbedConfig &cfg)
 {
     HostRaidTuning t;
-    t.perOpCost = 0;             // poll-mode, no kernel crossing
+    t.perOpCost = sim::Ticks::zero();             // poll-mode, no kernel crossing
     t.lockCost = cfg.lockCost;   // stripe lock pair
     t.lockReads = true;          // the POC locks normal reads (§8)
     t.dataPathBw = 40e9;         // user-space zero-copy datapath
     t.readPathBw = 60e9;
     t.xorBw = cfg.xorBw;
     t.gfBw = cfg.gfBw;
-    t.queueDelay = 0;
+    t.queueDelay = sim::Ticks::zero();
     return t;
 }
 

@@ -46,6 +46,7 @@ class MemoryBdev : public BlockDevice
     static constexpr std::uint32_t kPageSize = 256 * 1024;
 
     std::uint64_t capacity_;
+    // draid-lint: cap(capacity_ / kPageSize; one page per touched region)
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
 };
 

@@ -79,6 +79,7 @@ class NvmfInitiator
 
     cluster::Cluster &cluster_;
     CommandIdAllocator &ids_;
+    // draid-lint: cap(in-flight commands; bounded by the host queue depth)
     std::unordered_map<std::uint64_t, Pending> pending_;
     std::uint64_t timeouts_ = 0;
 };

@@ -58,7 +58,7 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
     // --- testbed: small array, short op deadlines, one spare pool ---
     cluster::TestbedConfig tb;
     tb.ssd.capacity = cfg.stripes * chunkBytes;
-    tb.opTimeout = cfg.opTimeout;
+    tb.opTimeout = sim::Ticks{cfg.opTimeout};
     cluster::Cluster cluster(tb, cfg.width + cfg.spares);
     sim::Simulator &sim = cluster.sim();
 
@@ -93,9 +93,9 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
 
     // Windowed SLO series over the measured part of the trial only (the
     // sink is fed at op completion; preload stays out of the windows).
-    telemetry::WindowedAggregator agg(0);
+    telemetry::WindowedAggregator agg(sim::Ticks::zero());
     cluster.tracer().bindOpSink(&agg);
-    const sim::Tick measuredStart = sim.now();
+    const sim::Tick measuredStart = sim.now().raw();
 
     // --- generate + arm the fault schedule ---
     sim::Rng schedRng(tseed);
@@ -110,8 +110,8 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
         std::uint32_t sparesLeft = 0;
         std::uint32_t nextSpare = 0;
         std::unique_ptr<core::RebuildJob> job;
-        sim::Tick start = 0;
-        sim::Tick end = 0;
+        sim::Ticks start = sim::Ticks::zero();
+        sim::Ticks end = sim::Ticks::zero();
         bool ran = false;
     };
     RebuildState rb;
@@ -120,7 +120,7 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
 
     FaultInjector injector(cluster, host);
     injector.onDriveFailure([&](const FaultAction &a) {
-        const sim::Tick now = sim.now();
+        const sim::Ticks now = sim.now();
         if (tracker.activeFailures() > 0) {
             // Concurrent with an unfinished rebuild: beyond the RAID-5
             // redundancy. The tracker journals DriveFailed + DataLoss;
@@ -180,7 +180,7 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
                                  (*scrubNext)(s + 1);
                              });
         };
-        sim.schedule(100 * sim::kMicrosecond, "campaign.scrub",
+        sim.schedule(sim::Ticks::us(100), "campaign.scrub",
                      [scrubNext]() { (*scrubNext)(0); });
     }
 
@@ -230,15 +230,15 @@ runTrial(const CampaignConfig &cfg, ScenarioClass cls, std::uint32_t trial,
     r.unexplainedIntegrityFailure = !pass && !tracker.dataLoss();
     r.lostStripes = tracker.lostStripes();
     r.fioErrors = fioResult.errors;
-    r.rebuildTicks = rb.ran ? rb.end - rb.start : 0;
+    r.rebuildTicks = rb.ran ? (rb.end - rb.start).raw() : 0;
     for (sim::Tick w : tracker.exposureWindows())
         r.exposureTicks += w;
-    r.exposureTicks += tracker.openExposure(sim.now());
-    r.simEndTicks = sim.now();
+    r.exposureTicks += tracker.openExposure(sim.now()).raw();
+    r.simEndTicks = sim.now().raw();
 
     const auto events =
         cluster.telemetry().journal().snapshotRange(measuredStart,
-                                                    sim.now() + 1);
+                                                    sim.now().raw() + 1);
     const telemetry::TimelineReport timeline =
         telemetry::buildTimeline(agg, events, {}, cluster.hostId());
     for (const telemetry::TimelineWindow &w : timeline.windows) {

@@ -51,6 +51,7 @@ struct CampaignConfig
     double scrubFraction = 0.5;  ///< stripes repair-scrubbed pre-failure
     ScheduleShape shape;         ///< width/stripes synced by runCampaign
     bool timelineAscii = false;  ///< render per-trial ASCII timelines
+    // draid-lint: cap(fixed scenario list; config-time only)
     std::vector<ScenarioClass> classes = {
         ScenarioClass::kBenign, ScenarioClass::kCorrelatedDual,
         ScenarioClass::kLseRebuild, ScenarioClass::kGrayFlap};
@@ -106,6 +107,7 @@ struct MttdlCrossCheck
 struct CampaignReport
 {
     CampaignConfig config;
+    // draid-lint: cap(one report per configured scenario class)
     std::vector<ClassReport> classes;
     MttdlCrossCheck mttdl;
 };

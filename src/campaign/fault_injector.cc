@@ -22,7 +22,7 @@ void
 FaultInjector::arm(const std::vector<FaultAction> &schedule)
 {
     for (const FaultAction &a : schedule) {
-        cluster_.sim().schedule(a.tick, "campaign.fault",
+        cluster_.sim().schedule(sim::Ticks{a.tick}, "campaign.fault",
                                 [this, a]() { apply(a); });
     }
 }
@@ -61,9 +61,9 @@ FaultInjector::applyGray(const FaultAction &a)
     // the inflated latencies (the campaign knows ground truth).
     cluster_.telemetry().journal().record(
         telemetry::EventType::kSlowDriveDetected,
-        cluster_.targetNodeId(target), cluster_.sim().now(), target,
+        cluster_.targetNodeId(target), cluster_.sim().now().raw(), target,
         static_cast<std::uint64_t>(a.factor * 100.0));
-    cluster_.sim().schedule(a.duration, "campaign.gray.clear",
+    cluster_.sim().schedule(sim::Ticks{a.duration}, "campaign.gray.clear",
                             [&ssd]() { ssd.setDegradeFactor(1.0); });
 }
 
@@ -84,13 +84,15 @@ FaultInjector::applyFlap(const FaultAction &a)
     const std::uint32_t target = host_.targetOf(a.device);
     cluster_.telemetry().journal().record(
         telemetry::EventType::kTargetFlap, cluster_.targetNodeId(target),
-        cluster_.sim().now(), target, a.cycles);
+        cluster_.sim().now().raw(), target, a.cycles);
     for (std::uint32_t c = 0; c < a.cycles; ++c) {
-        const sim::Tick base = 2 * static_cast<sim::Tick>(c) * a.duration;
+        const sim::Ticks base =
+            sim::Ticks{2 * static_cast<sim::Tick>(c) * a.duration};
         cluster_.sim().schedule(base, "campaign.flap.down", [this, target]() {
             cluster_.failTarget(target);
         });
-        cluster_.sim().schedule(base + a.duration, "campaign.flap.up",
+        cluster_.sim().schedule(base + sim::Ticks{a.duration},
+                                "campaign.flap.up",
                                 [this, target]() {
             cluster_.recoverTarget(target);
         });
@@ -106,10 +108,10 @@ FaultInjector::applyPortDegrade(const FaultAction &a)
     nic.setGoodput(full * a.factor);
     cluster_.telemetry().journal().record(
         telemetry::EventType::kSwitchPortDegraded,
-        cluster_.targetNodeId(target), cluster_.sim().now(),
+        cluster_.targetNodeId(target), cluster_.sim().now().raw(),
         cluster_.targetNodeId(target),
         static_cast<std::uint64_t>(a.factor * 100.0));
-    cluster_.sim().schedule(a.duration, "campaign.port.restore",
+    cluster_.sim().schedule(sim::Ticks{a.duration}, "campaign.port.restore",
                             [&nic, full]() { nic.setGoodput(full); });
 }
 

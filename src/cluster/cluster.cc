@@ -47,20 +47,26 @@ Cluster::instrumentNode(Node &node)
     const sim::NodeId id = node.id();
     telemetry::Tracer &tracer = telemetry_.tracer();
     tracer.setNodeName(id, nodeName(id));
-    node.nic().tx().bindTrace(&tracer, id, "nic.tx");
-    node.nic().rx().bindTrace(&tracer, id, "nic.rx");
-    node.cpu().bindTrace(&tracer, id);
+    // The sim-layer resources are telemetry-blind (layering DAG, DESIGN.md
+    // §6): each gets a lane label plus an observe-only LaneTap the node
+    // owns, and the tap carries the tracer/contention bindings.
+    node.nic().tx().setLabel("nic.tx");
+    node.nic().rx().setLabel("nic.rx");
+    node.txTap().bindTrace(&tracer, id);
+    node.rxTap().bindTrace(&tracer, id);
+    node.cpuTap().bindTrace(&tracer, id);
 
     // Contention attribution: every FIFO resource registers with the
     // tracker up front; the hooks stay one predictable branch until the
     // harness enables the tracker (--tenants= / --interference=).
     telemetry::ContentionTracker &ct = telemetry_.contention();
     using RK = telemetry::ContentionTracker::ResourceKind;
-    node.nic().tx().bindContention(&ct,
-                                   ct.registerResource(id, RK::NicTx));
-    node.nic().rx().bindContention(&ct,
-                                   ct.registerResource(id, RK::NicRx));
-    node.cpu().bindContention(&ct, ct.registerResource(id, RK::Cpu));
+    node.txTap().bindContention(&ct, ct.registerResource(id, RK::NicTx));
+    node.rxTap().bindContention(&ct, ct.registerResource(id, RK::NicRx));
+    node.cpuTap().bindContention(&ct, ct.registerResource(id, RK::Cpu));
+    node.nic().tx().setObserver(&node.txTap());
+    node.nic().rx().setObserver(&node.rxTap());
+    node.cpu().setObserver(&node.cpuTap());
 
     if (node.hasSsd()) {
         node.ssd().bindTrace(&tracer, id);
@@ -83,7 +89,7 @@ Cluster::instrumentNode(Node &node)
         return static_cast<double>(n.tx().opsTransferred());
     });
     nic.probe("tx_busy_ticks", [&n] {
-        return static_cast<double>(n.tx().busyTime());
+        return static_cast<double>(n.tx().busyTime().raw());
     });
     nic.probe("rx_bytes", [&n] {
         return static_cast<double>(n.rx().bytesTransferred());
@@ -92,13 +98,13 @@ Cluster::instrumentNode(Node &node)
         return static_cast<double>(n.rx().opsTransferred());
     });
     nic.probe("rx_busy_ticks", [&n] {
-        return static_cast<double>(n.rx().busyTime());
+        return static_cast<double>(n.rx().busyTime().raw());
     });
 
     auto cpu = scope.scope("cpu");
     const sim::CpuCore &core = node.cpu();
     cpu.probe("busy_ticks",
-              [&core] { return static_cast<double>(core.busyTime()); });
+              [&core] { return static_cast<double>(core.busyTime().raw()); });
 
     if (node.hasSsd()) {
         auto ssd = scope.scope("ssd");
@@ -116,13 +122,13 @@ Cluster::instrumentNode(Node &node)
             return static_cast<double>(drive.bytesWritten());
         });
         ssd.probe("channel_busy_ticks", [&drive] {
-            return static_cast<double>(drive.channel().busyTime());
+            return static_cast<double>(drive.channel().busyTime().raw());
         });
     }
 }
 
 void
-Cluster::startUtilizationSampling(sim::Tick interval)
+Cluster::startUtilizationSampling(sim::Ticks interval)
 {
     telemetry::UtilizationSampler &sampler = telemetry_.sampler();
     auto addNode = [&sampler](Node &node) {
@@ -153,7 +159,7 @@ Cluster::failTarget(std::uint32_t i)
 {
     fabric_.setNodeDown(targetNodeId(i), true);
     telemetry_.journal().record(telemetry::EventType::kTargetDown,
-                                targetNodeId(i), sim_.now(), i);
+                                targetNodeId(i), sim_.now().raw(), i);
 }
 
 void
@@ -161,7 +167,7 @@ Cluster::recoverTarget(std::uint32_t i)
 {
     fabric_.setNodeDown(targetNodeId(i), false);
     telemetry_.journal().record(telemetry::EventType::kTargetRecovered,
-                                targetNodeId(i), sim_.now(), i);
+                                targetNodeId(i), sim_.now().raw(), i);
 }
 
 bool

@@ -73,7 +73,7 @@ class Cluster
      * Begin periodic busy-fraction sampling of every NIC direction, CPU
      * core, and SSD channel. Observe-only; safe to leave off (the default).
      */
-    void startUtilizationSampling(sim::Tick interval);
+    void startUtilizationSampling(sim::Ticks interval);
 
     /** Take a storage server off the network (prolonged failure, §5.4). */
     void failTarget(std::uint32_t i);
@@ -92,6 +92,7 @@ class Cluster
     net::Fabric fabric_;
     telemetry::Telemetry telemetry_;
     std::unique_ptr<Node> host_;
+    // draid-lint: cap(num_targets; fixed at construction)
     std::vector<std::unique_ptr<Node>> targets_;
 };
 

@@ -3,7 +3,7 @@
 namespace draid::cluster {
 
 Node::Node(sim::Simulator &sim, sim::NodeId id, double nic_goodput,
-           sim::Tick nic_per_msg, std::optional<nvme::SsdConfig> ssd)
+           sim::Ticks nic_per_msg, std::optional<nvme::SsdConfig> ssd)
     : id_(id),
       nic_(sim, nic_goodput, nic_per_msg),
       cpu_(sim),

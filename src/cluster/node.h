@@ -17,6 +17,7 @@
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
+#include "telemetry/lane_tap.h"
 
 namespace draid::cluster {
 
@@ -32,7 +33,7 @@ class Node
      * @param ssd   drive profile; nullopt for the (diskless) host
      */
     Node(sim::Simulator &sim, sim::NodeId id, double nic_goodput,
-         sim::Tick nic_per_msg, std::optional<nvme::SsdConfig> ssd);
+         sim::Ticks nic_per_msg, std::optional<nvme::SsdConfig> ssd);
 
     Node(const Node &) = delete;
     Node &operator=(const Node &) = delete;
@@ -40,6 +41,15 @@ class Node
     sim::NodeId id() const { return id_; }
     net::Nic &nic() { return nic_; }
     sim::CpuCore &cpu() { return cpu_; }
+
+    /**
+     * Observe-only telemetry taps for the node's FIFO resources; the
+     * Cluster binds tracer/contention into them and attaches them to the
+     * NIC pipes and CPU core (see sim/service.h for the seam contract).
+     */
+    telemetry::LaneTap &txTap() { return txTap_; }
+    telemetry::LaneTap &rxTap() { return rxTap_; }
+    telemetry::LaneTap &cpuTap() { return cpuTap_; }
 
     /** The node's drive. @pre hasSsd() */
     nvme::Ssd &ssd() { return *ssd_; }
@@ -49,6 +59,9 @@ class Node
     sim::NodeId id_;
     net::Nic nic_;
     sim::CpuCore cpu_;
+    telemetry::LaneTap txTap_{telemetry::LaneTap::Style::kPipe};
+    telemetry::LaneTap rxTap_{telemetry::LaneTap::Style::kPipe};
+    telemetry::LaneTap cpuTap_{telemetry::LaneTap::Style::kCpu};
     std::unique_ptr<nvme::Ssd> ssd_;
 };
 

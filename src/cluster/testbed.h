@@ -32,8 +32,8 @@ struct TestbedConfig
     // --- fabric ---
     double nicGoodput100g = 11.5e9;  ///< bytes/s per direction (~92 Gbps)
     double nicGoodput25g = 2.875e9;  ///< bytes/s per direction (~23 Gbps)
-    sim::Tick nicPerMessage = 250;   ///< per-message port occupancy
-    sim::Tick propagation = 1500;    ///< one-way wire + switch delay
+    sim::Ticks nicPerMessage = sim::Ticks::ns(250);  ///< per-message port occupancy
+    sim::Ticks propagation = sim::Ticks::ns(1500);   ///< one-way wire + switch delay
 
     // --- drives ---
     nvme::SsdConfig ssd;
@@ -43,21 +43,21 @@ struct TestbedConfig
     double gfBw = 6e9;   ///< GF(2^8) multiply-accumulate bytes/s
 
     // --- per-command CPU costs ---
-    sim::Tick hostCmdCost = 550;        ///< host: build + post one command
-    sim::Tick hostCompletionCost = 250; ///< host: retire one completion
-    sim::Tick lockCost = 450;           ///< SPDK POC stripe lock pair
-    sim::Tick serverCmdCost = 600;      ///< target: parse + start a command
+    sim::Ticks hostCmdCost = sim::Ticks::ns(550); ///< host: build + post one command
+    sim::Ticks hostCompletionCost = sim::Ticks::ns(250); ///< host: retire one completion
+    sim::Ticks lockCost = sim::Ticks::ns(450);    ///< SPDK POC stripe lock pair
+    sim::Ticks serverCmdCost = sim::Ticks::ns(600); ///< target: parse + start a command
 
     // --- Linux MD model ---
-    sim::Tick mdPageCost = 480;    ///< per-4KB page on the single md thread
-    sim::Tick mdRequestCost = 2500;///< kernel block layer per request
-    sim::Tick mdQueueDelay = 18 * sim::kMicrosecond; ///< kernel I/O path
+    sim::Ticks mdPageCost = sim::Ticks::ns(480); ///< per-4KB page on the single md thread
+    sim::Ticks mdRequestCost = sim::Ticks::ns(2500); ///< kernel block layer per request
+    sim::Ticks mdQueueDelay = sim::Ticks::us(18); ///< kernel I/O path
 
     // --- failure handling (§5.4) ---
-    sim::Tick opTimeout = 50 * sim::kMillisecond;
+    sim::Ticks opTimeout = sim::Ticks::ms(50);
 
     // --- bandwidth-aware reconstruction (§6.2) ---
-    sim::Tick rebalancePeriod = 10 * sim::kMillisecond;
+    sim::Ticks rebalancePeriod = sim::Ticks::ms(10);
     double ewmaAlpha = 0.3;
 
     /** The paper's default array shape (§9.1). */

@@ -119,7 +119,9 @@ class BwAwareReducerSelector : public ReducerSelector
 
   private:
     Ewma loadEwma_;
+    // draid-lint: cap(candidate reducers; at most cluster width)
     std::vector<std::uint32_t> targets_;
+    // draid-lint: cap(parallel to targets_)
     std::vector<double> probs_;
 };
 

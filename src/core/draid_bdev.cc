@@ -86,6 +86,7 @@ DraidBdev::handlePartialWrite(const net::Message &msg)
         {
             int outstanding = 0;
             std::size_t next = 0;
+            // draid-lint: cap(deferred sub-commands of one op; at most stripe width)
             std::vector<std::function<void()>> serialQueue;
             ec::Buffer newData;
             ec::Buffer oldData;
@@ -231,7 +232,7 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
         assert(false);
     }
 
-    node_.cpu().executeBytes(xor_bytes, cfg.xorBw, 0, cmd.traceId,
+    node_.cpu().executeBytes(xor_bytes, cfg.xorBw, sim::Ticks::zero(), cmd.traceId,
                              "parity.xor", [this, cmd, from, new_data,
                                             partial]() mutable {
         const std::uint64_t op = opOf(cmd.commandId);
@@ -250,7 +251,7 @@ DraidBdev::partialWritePhase2(const proto::Capsule &cmd, sim::NodeId from,
                 ec::Buffer qcopy = partial.clone();
                 applyQCoefficient(qcopy, cmd.dataIdx);
                 node_.cpu().executeBytes(
-                    qcopy.size(), cluster_.config().gfBw, 0, cmd.traceId,
+                    qcopy.size(), cluster_.config().gfBw, sim::Ticks::zero(), cmd.traceId,
                     "parity.gf", [this, cmd, relay, qcopy]() {
                         forwardPartial(opOf(cmd.commandId), cmd.nextDest2,
                                        relay, cmd.fwdOffset, qcopy,
@@ -332,7 +333,7 @@ DraidBdev::handleParity(const net::Message &msg)
                              [this, key, cmd](blockdev::IoStatus,
                                               ec::Buffer data) {
                 node_.cpu().executeBytes(
-                    data.size(), cluster_.config().xorBw, 0, cmd.traceId,
+                    data.size(), cluster_.config().xorBw, sim::Ticks::zero(), cmd.traceId,
                     "reduce.xor", [this, key, cmd, data]() {
                         auto *sess = reduce_.find(key);
                         if (!sess)
@@ -418,7 +419,7 @@ DraidBdev::absorbContribution(std::uint64_t key, std::uint32_t offset,
                               ec::Buffer data, bool counted,
                               std::uint64_t trace)
 {
-    node_.cpu().executeBytes(data.size(), cluster_.config().xorBw, 0, trace,
+    node_.cpu().executeBytes(data.size(), cluster_.config().xorBw, sim::Ticks::zero(), trace,
                              "reduce.xor",
                              [this, key, offset, data, counted]() {
         auto &s = reduce_.obtain(key);
@@ -554,7 +555,7 @@ DraidBdev::handleReconstruction(const net::Message &msg)
                 // is missing this very chunk.
                 s.preloadPending = true;
                 node_.cpu().executeBytes(
-                    recon.size(), cluster_.config().xorBw, 0, cmd.traceId,
+                    recon.size(), cluster_.config().xorBw, sim::Ticks::zero(), cmd.traceId,
                     "reduce.xor", [this, key, off = cmd.fwdOffset, recon]() {
                         auto *sess = reduce_.find(key);
                         if (!sess)

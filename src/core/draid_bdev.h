@@ -107,6 +107,7 @@ class DraidBdev : public blockdev::NvmfTarget
 
     /** Pending self-initiated commands, keyed by command id. */
     std::unordered_map<std::uint64_t,
+                       // draid-lint: cap(in-flight self-commands; host queue depth)
                        std::function<void(proto::Status)>> selfPending_;
     std::uint64_t selfNext_ = 1;
 
@@ -116,6 +117,7 @@ class DraidBdev : public blockdev::NvmfTarget
      */
     std::unordered_map<std::uint64_t,
                        std::vector<std::pair<std::uint32_t, ec::Buffer>>>
+        // draid-lint: cap(one stash per in-flight write op; host queue depth)
         stashed_;
 };
 

@@ -47,7 +47,7 @@ DraidHost::DraidHost(cluster::Cluster &cluster, const DraidOptions &options,
         telemetry::ContentionTracker::ResourceKind::StripeLock);
     writeLocks_.bindJournal(&cluster_.telemetry().journal(),
                             cluster_.hostId(),
-                            [this] { return cluster_.sim().now(); });
+                            [this] { return cluster_.sim().now().raw(); });
     deadlines_.bindJournal(&cluster_.telemetry().journal(),
                            cluster_.hostId());
 
@@ -98,17 +98,18 @@ DraidHost::setupTelemetry()
 
 void
 DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
-                        sim::Tick start, std::uint64_t bytes,
+                        sim::Ticks start, std::uint64_t bytes,
                         telemetry::Histogram *lat_us)
 {
-    const sim::Tick end = cluster_.sim().now();
+    const sim::Ticks end = cluster_.sim().now();
     if (lat_us)
-        lat_us->observe(static_cast<double>(end - start) /
+        lat_us->observe(static_cast<double>((end - start).raw()) /
                         sim::kMicrosecond);
     // Capture the tenant before noteOpComplete releases the binding.
     const std::uint32_t tenant = contention_->tenantOf(trace);
     if (contention_->enabled())
-        contention_->noteOpComplete(trace, end, end - start, bytes);
+        contention_->noteOpComplete(trace, end.raw(), (end - start).raw(),
+                                    bytes);
     telemetry::Tracer &tracer = cluster_.tracer();
     if (trace == 0 || !tracer.active())
         return;
@@ -117,8 +118,8 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
     span.node = cluster_.hostId();
     span.lane = "op";
     span.name = name;
-    span.start = start;
-    span.end = end;
+    span.start = start.raw();
+    span.end = end.raw();
     span.tenant = tenant;
     span.args.emplace_back("bytes", std::to_string(bytes));
     // Root op span: routes through the op-completion path (streaming
@@ -128,9 +129,9 @@ DraidHost::finishOpSpan(std::uint64_t trace, const char *name,
 
 void
 DraidHost::recordLockWait(std::uint64_t trace, std::uint64_t stripe,
-                          sim::Tick since)
+                          sim::Ticks since)
 {
-    const sim::Tick now = cluster_.sim().now();
+    const sim::Ticks now = cluster_.sim().now();
     if (trace == 0 || now <= since)
         return;
     telemetry::Tracer &tracer = cluster_.tracer();
@@ -141,8 +142,8 @@ DraidHost::recordLockWait(std::uint64_t trace, std::uint64_t stripe,
     span.node = cluster_.hostId();
     span.lane = "lock";
     span.name = "lock.stripe";
-    span.start = since;
-    span.end = now;
+    span.start = since.raw();
+    span.end = now.raw();
     span.tenant = contention_->tenantOf(trace);
     span.args.emplace_back("stripe", std::to_string(stripe));
     tracer.recordSpan(std::move(span));
@@ -207,7 +208,7 @@ DraidHost::expireOp(std::uint64_t op)
     if (it == pending_.end())
         return;
     cluster_.telemetry().flightRecorder().noteAbnormal(
-        "op.timeout", op, cluster_.hostId(), cluster_.sim().now());
+        "op.timeout", op, cluster_.hostId(), cluster_.sim().now().raw());
     lastExpiredSubs_ = it->second.waitingSubs;
     auto done = std::move(it->second.onDone);
     pending_.erase(it);
@@ -293,7 +294,7 @@ DraidHost::markFailed(std::uint32_t device)
     failed_ = device;
     cluster_.telemetry().journal().record(telemetry::EventType::kDriveFailed,
                                           cluster_.hostId(),
-                                          cluster_.sim().now(), device);
+                                          cluster_.sim().now().raw(), device);
 }
 
 void
@@ -302,7 +303,7 @@ DraidHost::clearFailed()
     if (failed_) {
         cluster_.telemetry().journal().record(
             telemetry::EventType::kDriveRecovered, cluster_.hostId(),
-            cluster_.sim().now(), *failed_);
+            cluster_.sim().now().raw(), *failed_);
     }
     failed_.reset();
 }
@@ -315,7 +316,7 @@ DraidHost::replaceDevice(std::uint32_t device, std::uint32_t spare_target)
     targetMap_[device] = spare_target;
     cluster_.telemetry().journal().record(telemetry::EventType::kHotSpareSwap,
                                           cluster_.hostId(),
-                                          cluster_.sim().now(), device,
+                                          cluster_.sim().now().raw(), device,
                                           spare_target);
     if (failed_ && *failed_ == device)
         clearFailed();
@@ -332,7 +333,7 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
     assert(offset + data.size() <= sizeBytes());
     const std::uint64_t trace = cluster_.tracer().mint();
     contention_->noteOpStart(trace);
-    const sim::Tick op_start = cluster_.sim().now();
+    const sim::Ticks op_start = cluster_.sim().now();
     const std::uint64_t op_bytes = data.size();
     auto plans = planner_.plan(offset, data.size());
     assert(!plans.empty());
@@ -361,7 +362,8 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
             // Close the hold window before the release hands the lock to
             // the next waiter, so that waiter's blame split can see it.
             if (contention_->enabled())
-                contention_->closeOccupancy(lockRes_, cluster_.sim().now(),
+                contention_->closeOccupancy(lockRes_,
+                                            cluster_.sim().now().raw(),
                                             stripe);
             writeLocks_.release(stripe);
             if (!ok)
@@ -370,17 +372,18 @@ DraidHost::write(std::uint64_t offset, ec::Buffer data,
                 wrapped(*all_ok ? blockdev::IoStatus::kOk
                                 : blockdev::IoStatus::kError);
         };
-        const sim::Tick lock_req = cluster_.sim().now();
+        const sim::Ticks lock_req = cluster_.sim().now();
         writeLocks_.acquire(stripe, [this, sw, stripe, lock_req]() {
             if (contention_->enabled()) {
-                const sim::Tick now = cluster_.sim().now();
+                const sim::Ticks now = cluster_.sim().now();
                 // Blame the grant delay on the writers that held the lock
                 // (their hold windows tile [lock_req, now) exactly), then
                 // open this writer's own hold window.
-                contention_->attributeWait(lockRes_, sw->traceId, lock_req,
-                                           now, stripe);
-                contention_->openOccupancy(lockRes_, sw->traceId, now,
+                contention_->attributeWait(lockRes_, sw->traceId,
+                                           lock_req.raw(), now.raw(),
                                            stripe);
+                contention_->openOccupancy(lockRes_, sw->traceId,
+                                           now.raw(), stripe);
             }
             recordLockWait(sw->traceId, stripe, lock_req);
             executeStripeWrite(sw);
@@ -651,13 +654,13 @@ DraidHost::executeFullStripe(std::shared_ptr<StripeWrite> sw)
     // Charge the host-side parity computation.
     const std::uint64_t trace = sw->traceId;
     if (geom_.level() == raid::RaidLevel::kRaid6) {
-        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0, trace, "parity.xor",
+        cpu.executeBytes(stripe_bytes, cfg.xorBw, sim::Ticks::zero(), trace, "parity.xor",
                          [&cpu, &cfg, stripe_bytes, trace, issue]() {
-                             cpu.executeBytes(stripe_bytes, cfg.gfBw, 0,
+                             cpu.executeBytes(stripe_bytes, cfg.gfBw, sim::Ticks::zero(),
                                               trace, "parity.gf", issue);
                          });
     } else {
-        cpu.executeBytes(stripe_bytes, cfg.xorBw, 0, trace, "parity.xor",
+        cpu.executeBytes(stripe_bytes, cfg.xorBw, sim::Ticks::zero(), trace, "parity.xor",
                          issue);
     }
 }
@@ -828,6 +831,7 @@ DraidHost::retryStripe(std::shared_ptr<StripeWrite> sw)
 
     struct Gather
     {
+        // draid-lint: cap(stripe width; one buffer per gathered chunk)
         std::vector<ec::Buffer> chunks;
         int remaining = 0;
         bool ok = true;
@@ -928,7 +932,7 @@ DraidHost::read(std::uint64_t offset, std::uint32_t length,
     ++counters_.normalReads;
     const std::uint64_t trace = cluster_.tracer().mint();
     contention_->noteOpStart(trace);
-    const sim::Tick op_start = cluster_.sim().now();
+    const sim::Ticks op_start = cluster_.sim().now();
     auto extents = geom_.map(offset, length);
     ec::Buffer out(length);
 
@@ -1044,7 +1048,7 @@ DraidHost::degradedStripeRead(std::uint64_t stripe,
     const std::uint32_t reducer = selector_->select(participants, rng_);
     cluster_.telemetry().journal().record(
         telemetry::EventType::kDegradedReadServed, cluster_.hostId(),
-        cluster_.sim().now(), stripe, recon_len);
+        cluster_.sim().now().raw(), stripe, recon_len);
     noteReconstructionLoad(recon_len);
     if (bwAware_ && reducer < reconTxAttributed_.size())
         reconTxAttributed_[reducer] += recon_len;
@@ -1210,7 +1214,7 @@ DraidHost::reconstructChunk(std::uint64_t stripe, std::uint32_t spare_target,
         reconTxAttributed_[reducer] += chunk;
 
     const std::uint64_t trace = cluster_.tracer().mint();
-    const sim::Tick start = cluster_.sim().now();
+    const sim::Ticks start = cluster_.sim().now();
     auto wrapped = [this, done = std::move(done), trace, start,
                     chunk](bool ok) {
         finishOpSpan(trace, "draid.reconstruct", start, chunk, nullptr);

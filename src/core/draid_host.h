@@ -137,6 +137,7 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
     // ---- pending-operation bookkeeping ----
     struct PendingOp
     {
+        // draid-lint: cap(sub-commands of one op; at most stripe width)
         std::set<std::uint8_t> waitingSubs;
         bool anyFailure = false;
         std::function<void(std::uint8_t, ec::Buffer)> onData;
@@ -155,6 +156,7 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
     struct StripeWrite
     {
         raid::StripeWritePlan plan;
+        // draid-lint: cap(parallel to plan.writes; at most stripe width)
         std::vector<ec::Buffer> segData; ///< parallel to plan.writes
         int retriesLeft = 0;
         std::uint64_t traceId = 0; ///< telemetry id of the user write
@@ -252,17 +254,22 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
 
     std::optional<std::uint32_t> failed_;
     /** Member device index -> cluster target (identity until a swap). */
+    // draid-lint: cap(member device count; fixed topology)
     std::vector<std::uint32_t> targetMap_;
+    // draid-lint: cap(in-flight ops; host queue depth)
     std::unordered_map<std::uint64_t, PendingOp> pending_;
 
     /** Sub-commands still outstanding when the last deadline fired. */
+    // draid-lint: cap(sub-commands of one op; stripe width)
     std::set<std::uint8_t> lastExpiredSubs_;
 
     std::unique_ptr<ReducerSelector> selector_;
     BwAwareReducerSelector *bwAware_ = nullptr;
     bool bwTimerArmed_ = false;
     std::uint64_t reconBytesWindow_ = 0;
+    // draid-lint: cap(one entry per cluster target; fixed topology)
     std::vector<std::uint64_t> lastTxBytes_;
+    // draid-lint: cap(one entry per cluster target; fixed topology)
     std::vector<std::uint64_t> reconTxAttributed_;
 
     HostCounters counters_;
@@ -271,7 +278,7 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
     void setupTelemetry();
 
     /** Record a completed user op span + latency sample. */
-    void finishOpSpan(std::uint64_t trace, const char *name, sim::Tick start,
+    void finishOpSpan(std::uint64_t trace, const char *name, sim::Ticks start,
                       std::uint64_t bytes, telemetry::Histogram *lat_us);
 
     /**
@@ -281,7 +288,7 @@ class DraidHost : public blockdev::BlockDevice, public net::Endpoint
      * was zero ticks (the uncontended fast path stays span-free).
      */
     void recordLockWait(std::uint64_t trace, std::uint64_t stripe,
-                        sim::Tick since);
+                        sim::Ticks since);
 
     telemetry::Histogram *readLatencyUs_ = nullptr;
     telemetry::Histogram *writeLatencyUs_ = nullptr;
@@ -311,6 +318,7 @@ class DraidSystem
     }
 
   private:
+    // draid-lint: cap(one bdev per member device; fixed topology)
     std::vector<std::unique_ptr<class DraidBdev>> bdevs_;
     std::unique_ptr<DraidHost> host_;
 };

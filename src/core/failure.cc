@@ -6,7 +6,7 @@
 namespace draid::core {
 
 void
-DeadlineTable::arm(std::uint64_t id, sim::Tick delay,
+DeadlineTable::arm(std::uint64_t id, sim::Ticks delay,
                    std::function<void()> expire)
 {
     const std::uint64_t gen = nextGen_++;
@@ -20,7 +20,7 @@ DeadlineTable::arm(std::uint64_t id, sim::Tick delay,
         ++expired_;
         if (journal_) {
             journal_->record(telemetry::EventType::kOpTimeout, journalNode_,
-                             sim_.now(), id);
+                             sim_.now().raw(), id);
         }
         expire();
     });
@@ -57,39 +57,39 @@ FailureTracker::bindJournal(telemetry::EventJournal *journal,
 }
 
 bool
-FailureTracker::recordFailure(std::uint32_t device, sim::Tick tick,
+FailureTracker::recordFailure(std::uint32_t device, sim::Ticks tick,
                               bool already_journaled)
 {
     if (device >= width_ || failedAt_[device] >= 0)
         return false;
-    failedAt_[device] = static_cast<std::int64_t>(tick);
+    failedAt_[device] = static_cast<std::int64_t>(tick.raw());
     ++active_;
     if (journal_ && !already_journaled) {
         journal_->record(telemetry::EventType::kDriveFailed, journalNode_,
-                         tick, device, active_);
+                         tick.raw(), device, active_);
     }
     if (active_ > redundancy_ && !dataLoss_) {
         dataLoss_ = true;
         if (journal_) {
             journal_->record(telemetry::EventType::kDataLoss, journalNode_,
-                             tick, device, 0);
+                             tick.raw(), device, 0);
         }
     }
     return true;
 }
 
 void
-FailureTracker::recordRebuilt(std::uint32_t device, sim::Tick tick)
+FailureTracker::recordRebuilt(std::uint32_t device, sim::Ticks tick)
 {
     if (device >= width_ || failedAt_[device] < 0)
         return;
-    exposure_.push_back(tick - static_cast<sim::Tick>(failedAt_[device]));
+    exposure_.push_back(tick.raw() - failedAt_[device]);
     failedAt_[device] = -1;
     --active_;
 }
 
 void
-FailureTracker::recordStripeLoss(std::uint64_t stripe, sim::Tick tick)
+FailureTracker::recordStripeLoss(std::uint64_t stripe, sim::Ticks tick)
 {
     // One DataLoss record per distinct stripe keeps the journal readable
     // when a rebuild retries the same bad stripe back to back.
@@ -100,7 +100,7 @@ FailureTracker::recordStripeLoss(std::uint64_t stripe, sim::Tick tick)
     dataLoss_ = true;
     if (journal_ && !duplicate) {
         journal_->record(telemetry::EventType::kDataLoss, journalNode_,
-                         tick, stripe, 1);
+                         tick.raw(), stripe, 1);
     }
 }
 
@@ -115,15 +115,13 @@ FailureTracker::failedDevices() const
     return out;
 }
 
-sim::Tick
-FailureTracker::openExposure(sim::Tick now) const
+sim::Ticks
+FailureTracker::openExposure(sim::Ticks now) const
 {
-    sim::Tick open = 0;
+    sim::Ticks open;
     for (std::uint32_t d = 0; d < width_; ++d) {
-        if (failedAt_[d] >= 0) {
-            open = std::max(
-                open, now - static_cast<sim::Tick>(failedAt_[d]));
-        }
+        if (failedAt_[d] >= 0)
+            open = std::max(open, now - sim::Ticks{failedAt_[d]});
     }
     return open;
 }

@@ -35,7 +35,7 @@ class DeadlineTable
     explicit DeadlineTable(sim::Simulator &sim) : sim_(sim) {}
 
     /** Arm (or re-arm) a deadline @p delay from now. */
-    void arm(std::uint64_t id, sim::Tick delay, std::function<void()> expire);
+    void arm(std::uint64_t id, sim::Ticks delay, std::function<void()> expire);
 
     /** Cancel the deadline; no-op if not armed. */
     void disarm(std::uint64_t id);
@@ -54,6 +54,7 @@ class DeadlineTable
     sim::Simulator &sim_;
     // id -> generation; a scheduled event only fires its callback when the
     // generation it captured is still current.
+    // draid-lint: cap(one generation per device id; fixed topology)
     std::unordered_map<std::uint64_t, std::uint64_t> armed_;
     std::uint64_t nextGen_ = 1;
     std::uint64_t expired_ = 0;
@@ -96,7 +97,7 @@ class FailureTracker
      * to data loss with a DataLoss (a = device, b = 0) record. Returns
      * false if the device was already failed (no-op).
      */
-    bool recordFailure(std::uint32_t device, sim::Tick tick,
+    bool recordFailure(std::uint32_t device, sim::Ticks tick,
                        bool already_journaled = false);
 
     /**
@@ -104,7 +105,7 @@ class FailureTracker
      * exposure window (the DriveRecovered/HotSpareSwap journal records
      * come from the host's swap path, not from here).
      */
-    void recordRebuilt(std::uint32_t device, sim::Tick tick);
+    void recordRebuilt(std::uint32_t device, sim::Ticks tick);
 
     /**
      * One stripe could not be reconstructed during rebuild (a second
@@ -112,7 +113,7 @@ class FailureTracker
      * Promotes to data loss with a DataLoss (a = stripe, b = 1) record;
      * repeated losses of the same stripe journal once.
      */
-    void recordStripeLoss(std::uint64_t stripe, sim::Tick tick);
+    void recordStripeLoss(std::uint64_t stripe, sim::Ticks tick);
 
     bool dataLoss() const { return dataLoss_; }
     std::uint32_t activeFailures() const { return active_; }
@@ -128,7 +129,7 @@ class FailureTracker
     }
 
     /** Exposure still open for @p now (0 when nothing is failed). */
-    sim::Tick openExposure(sim::Tick now) const;
+    sim::Ticks openExposure(sim::Ticks now) const;
 
   private:
     std::uint32_t width_;
@@ -138,7 +139,9 @@ class FailureTracker
     std::uint64_t lostStripes_ = 0;
     std::uint64_t lastLostStripe_ = 0;
     /** Per-device fail tick; < 0 = not currently failed. */
+    // draid-lint: cap(one entry per member device; fixed topology)
     std::vector<std::int64_t> failedAt_;
+    // draid-lint: cap(one entry per member device; fixed topology)
     std::vector<sim::Tick> exposure_;
     telemetry::EventJournal *journal_ = nullptr;
     sim::NodeId journalNode_ = 0;

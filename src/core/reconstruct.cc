@@ -28,14 +28,14 @@ RebuildJob::start(std::function<void(bool)> done)
     startTick_ = sim_.now();
     if (journal_) {
         journal_->record(telemetry::EventType::kRebuildStarted,
-                         journalNode_, sim_.now(), numStripes_, chunkBytes_);
+                         journalNode_, sim_.now().raw(), numStripes_, chunkBytes_);
     }
     if (numStripes_ == 0) {
         finished_ = true;
         endTick_ = sim_.now();
         if (journal_) {
             journal_->record(telemetry::EventType::kRebuildCompleted,
-                             journalNode_, sim_.now(), 0, 0);
+                             journalNode_, sim_.now().raw(), 0, 0);
         }
         if (onFinished_)
             onFinished_(true);
@@ -76,7 +76,7 @@ RebuildJob::pump()
         ++inFlight_;
         const bool traced = tracer_ && tracer_->active();
         const std::uint64_t trace = traced ? tracer_->mint() : 0;
-        const sim::Tick issued = sim_.now();
+        const sim::Ticks issued = sim_.now();
         fn_(stripe, [this, stripe, trace, issued](bool ok) {
             if (trace != 0 && tracer_ && tracer_->active()) {
                 telemetry::TraceSpan span;
@@ -84,8 +84,8 @@ RebuildJob::pump()
                 span.node = traceNode_;
                 span.lane = "rebuild";
                 span.name = "rebuild.stripe";
-                span.start = issued;
-                span.end = sim_.now();
+                span.start = issued.raw();
+                span.end = sim_.now().raw();
                 span.args.emplace_back("stripe", std::to_string(stripe));
                 span.args.emplace_back("ok", ok ? "1" : "0");
                 tracer_->recordSpan(std::move(span));
@@ -109,7 +109,7 @@ RebuildJob::onStripeDone(bool ok)
         endTick_ = sim_.now();
         if (journal_) {
             journal_->record(telemetry::EventType::kRebuildCompleted,
-                             journalNode_, sim_.now(), done_, failures_);
+                             journalNode_, sim_.now().raw(), done_, failures_);
         }
         if (onFinished_)
             onFinished_(failures_ == 0);
@@ -117,7 +117,7 @@ RebuildJob::onStripeDone(bool ok)
     }
     if (journal_ && progressStride_ > 0 && done_ % progressStride_ == 0) {
         journal_->record(telemetry::EventType::kRebuildProgress,
-                         journalNode_, sim_.now(), done_, numStripes_);
+                         journalNode_, sim_.now().raw(), done_, numStripes_);
     }
     pump();
 }
@@ -125,8 +125,8 @@ RebuildJob::onStripeDone(bool ok)
 double
 RebuildJob::throughputMBps() const
 {
-    const sim::Tick dt = (finished_ ? endTick_ : sim_.now()) - startTick_;
-    if (dt <= 0)
+    const sim::Ticks dt = (finished_ ? endTick_ : sim_.now()) - startTick_;
+    if (dt <= sim::Ticks::zero())
         return 0.0;
     return static_cast<double>(done_) * chunkBytes_ / sim::toSeconds(dt) /
            1e6;

@@ -102,8 +102,8 @@ class RebuildJob
     std::uint64_t failures_ = 0;
     int inFlight_ = 0;
     bool finished_ = false;
-    sim::Tick startTick_ = 0;
-    sim::Tick endTick_ = 0;
+    sim::Ticks startTick_;
+    sim::Ticks endTick_;
     std::function<void(bool)> onFinished_;
     std::function<void(std::uint64_t)> stripeFailed_;
 };

@@ -142,6 +142,7 @@ class ReduceEngine
     static ec::Buffer finalWindow(const ReduceSession &s);
 
   private:
+    // draid-lint: cap(concurrent rebuild sessions; at most one per failed device)
     std::unordered_map<std::uint64_t, ReduceSession> sessions_;
     ReduceStats stats_;
 };

@@ -32,7 +32,7 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
         if (r.ok) {
             cluster_.telemetry().journal().record(
                 telemetry::EventType::kScrubPass, cluster_.hostId(),
-                cluster_.sim().now(), stripe,
+                cluster_.sim().now().raw(), stripe,
                 r.repaired ? 2 : (r.consistent ? 0 : 1));
         }
         done(r);
@@ -44,6 +44,7 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
 
     struct Ctx
     {
+        // draid-lint: cap(stripe width; one buffer per data chunk)
         std::vector<ec::Buffer> data;
         ec::Buffer p;
         ec::Buffer q;
@@ -94,7 +95,7 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
                 device = geom_.qDevice(stripe);
             }
             cluster_.host().cpu().executeBytes(
-                fix.size(), cluster_.config().xorBw, 0,
+                fix.size(), cluster_.config().xorBw, sim::Ticks::zero(),
                 [this, addr, device, fix = std::move(fix),
                  done = std::move(done)]() mutable {
                     initiator_.writeRemote(
@@ -117,7 +118,7 @@ DraidHost::scrubStripe(std::uint64_t stripe, bool repair,
         // Charge the verification XOR/GF work on the host core.
         const std::uint64_t bytes = geom_.stripeDataSize();
         cluster_.host().cpu().executeBytes(
-            bytes, cluster_.config().xorBw, 0,
+            bytes, cluster_.config().xorBw, sim::Ticks::zero(),
             [this, ctx, stripe, addr, repair, raid6,
              expect_p = std::move(expect_p), expect_q = std::move(expect_q),
              done = std::move(done)]() mutable {

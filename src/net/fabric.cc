@@ -8,7 +8,7 @@
 
 namespace draid::net {
 
-Fabric::Fabric(sim::Simulator &sim, sim::Tick propagation)
+Fabric::Fabric(sim::Simulator &sim, sim::Ticks propagation)
     : sim_(sim), propagation_(propagation)
 {
 }
@@ -17,7 +17,7 @@ void
 Fabric::attach(sim::NodeId node, Nic &nic, Endpoint *endpoint)
 {
     assert(!ports_.contains(node));
-    ports_[node] = Port{&nic, endpoint, 0};
+    ports_[node] = Port{&nic, endpoint, sim::Ticks::zero()};
 }
 
 void
@@ -26,10 +26,10 @@ Fabric::setEndpoint(sim::NodeId node, Endpoint *endpoint)
     ports_.at(node).endpoint = endpoint;
 }
 
-sim::Tick
+sim::Ticks
 Fabric::delayFor(sim::NodeId a, sim::NodeId b) const
 {
-    sim::Tick d = propagation_;
+    sim::Ticks d = propagation_;
     auto ia = ports_.find(a);
     if (ia != ports_.end())
         d += ia->second.extraDelay;
@@ -45,7 +45,7 @@ Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
 {
     auto &sp = ports_.at(src);
     auto &dp = ports_.at(dst);
-    const sim::Tick delay = delayFor(src, dst);
+    const sim::Ticks delay = delayFor(src, dst);
 
     // Both port directions are charged the full transfer; completion waits
     // for the later of the two (cut-through forwarding).
@@ -60,8 +60,8 @@ Fabric::transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
             span.node = src;
             span.lane = "fabric";
             span.name = "fabric.prop";
-            span.start = sim_.now();
-            span.end = sim_.now() + delay;
+            span.start = sim_.now().raw();
+            span.end = (sim_.now() + delay).raw();
             tracer_->recordSpan(std::move(span));
         }
         sim_.schedule(delay, "fabric.prop", std::move(done));
@@ -133,7 +133,7 @@ Fabric::isDown(sim::NodeId node) const
 }
 
 void
-Fabric::setExtraDelay(sim::NodeId node, sim::Tick delay)
+Fabric::setExtraDelay(sim::NodeId node, sim::Ticks delay)
 {
     ports_.at(node).extraDelay = delay;
 }

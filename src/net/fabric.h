@@ -68,7 +68,7 @@ class Fabric
      * @param sim          owning simulator
      * @param propagation  one-way wire+switch delay
      */
-    Fabric(sim::Simulator &sim, sim::Tick propagation);
+    Fabric(sim::Simulator &sim, sim::Ticks propagation);
 
     /** Register a node. The NIC and endpoint must outlive the fabric. */
     void attach(sim::NodeId node, Nic &nic, Endpoint *endpoint);
@@ -106,7 +106,7 @@ class Fabric
     bool isDown(sim::NodeId node) const;
 
     /** Add fixed extra delivery delay for traffic touching @p node. */
-    void setExtraDelay(sim::NodeId node, sim::Tick delay);
+    void setExtraDelay(sim::NodeId node, sim::Ticks delay);
 
     /**
      * Attach a span sink: traced transfers record their propagation window
@@ -132,19 +132,21 @@ class Fabric
     {
         Nic *nic = nullptr;
         Endpoint *endpoint = nullptr;
-        sim::Tick extraDelay = 0;
+        sim::Ticks extraDelay;
     };
 
     /** Parallel-occupancy transfer src.tx || dst.rx, then done. */
     void transferPair(sim::NodeId src, sim::NodeId dst, std::uint64_t bytes,
                       std::uint64_t trace, sim::EventFn done);
 
-    sim::Tick delayFor(sim::NodeId a, sim::NodeId b) const;
+    sim::Ticks delayFor(sim::NodeId a, sim::NodeId b) const;
 
     sim::Simulator &sim_;
-    sim::Tick propagation_;
+    sim::Ticks propagation_;
     telemetry::Tracer *tracer_ = nullptr;
+    // draid-lint: cap(one port per registered node; fixed topology)
     std::unordered_map<sim::NodeId, Port> ports_;
+    // draid-lint: cap(subset of registered nodes; fixed topology)
     std::unordered_set<sim::NodeId> down_;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;

@@ -2,10 +2,10 @@
 
 namespace draid::net {
 
-Nic::Nic(sim::Simulator &sim, double goodput, sim::Tick per_msg)
+Nic::Nic(sim::Simulator &sim, double goodput, sim::Ticks per_msg)
     : goodput_(goodput),
-      tx_(sim, goodput, /*latency=*/0, per_msg),
-      rx_(sim, goodput, /*latency=*/0, per_msg)
+      tx_(sim, goodput, sim::Ticks::zero(), per_msg),
+      rx_(sim, goodput, sim::Ticks::zero(), per_msg)
 {
 }
 

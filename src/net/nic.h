@@ -28,7 +28,7 @@ class Nic
      * @param per_msg         fixed per-message port occupancy (DMA setup,
      *                        doorbells); bounds small-message rate
      */
-    Nic(sim::Simulator &sim, double goodput, sim::Tick per_msg);
+    Nic(sim::Simulator &sim, double goodput, sim::Ticks per_msg);
 
     sim::Pipe &tx() { return tx_; }
     sim::Pipe &rx() { return rx_; }

@@ -28,11 +28,11 @@ Ssd::Ssd(sim::Simulator &sim, const SsdConfig &config)
     : sim_(sim),
       config_(config),
       store_(config.capacity),
-      channel_(sim, 1e9, /*latency=*/0, config.perCommand)
+      channel_(sim, 1e9, sim::Ticks::zero(), config.perCommand)
 {
-    // Label-only bind: channel completions attribute as "ssd.channel" in
-    // the engine profile (span recording stays off until a tracer binds).
-    channel_.bindTrace(nullptr, 0, "ssd.channel");
+    // Label-only: channel completions attribute as "ssd.channel" in the
+    // engine profile (span recording stays off; see channelTap_).
+    channel_.setLabel("ssd.channel");
 }
 
 void
@@ -47,13 +47,13 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
           blockdev::ReadCallback cb)
 {
     bytesRead_ += length;
-    const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
+    const sim::Ticks start = std::max(sim_.now(), channel_.busyUntil());
     // The trace rides into the channel pipe for contention attribution
     // (the pipe's tracer is never bound, so no duplicate span appears).
     channel_.transfer(scaled(length, config_.readBw / degrade_), trace,
                       [this, offset, length, cb = std::move(cb)]() {
-        const auto latency = static_cast<sim::Tick>(
-            static_cast<double>(config_.readLatency) * degrade_);
+        const auto latency = sim::Ticks{static_cast<sim::Tick>(
+            static_cast<double>(config_.readLatency.raw()) * degrade_)};
         sim_.schedule(latency, "ssd.read.done",
                       [this, offset, length, cb = std::move(cb)]() {
             ++reads_;
@@ -66,7 +66,7 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
                 if (journal_) {
                     journal_->record(
                         telemetry::EventType::kLatentSectorError,
-                        journalNode_, sim_.now(), hit->first,
+                        journalNode_, sim_.now().raw(), hit->first,
                         hit->second - hit->first);
                 }
                 cb(blockdev::IoStatus::kError, ec::Buffer());
@@ -81,8 +81,8 @@ Ssd::read(std::uint64_t offset, std::uint32_t length, std::uint64_t trace,
         span.node = traceNode_;
         span.lane = "ssd";
         span.name = "ssd.read";
-        span.start = start;
-        span.end = channel_.busyUntil();
+        span.start = start.raw();
+        span.end = channel_.busyUntil().raw();
         if (contention_ && contention_->enabled())
             span.tenant = contention_->tenantOf(trace);
         span.args.emplace_back("bytes", std::to_string(length));
@@ -102,12 +102,12 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
 {
     const std::uint64_t length = data.size();
     bytesWritten_ += length;
-    const sim::Tick start = std::max(sim_.now(), channel_.busyUntil());
+    const sim::Ticks start = std::max(sim_.now(), channel_.busyUntil());
     channel_.transfer(scaled(length, config_.writeBw / degrade_), trace,
                       [this, offset, data = std::move(data),
                        cb = std::move(cb)]() {
-        const auto latency = static_cast<sim::Tick>(
-            static_cast<double>(config_.writeLatency) * degrade_);
+        const auto latency = sim::Ticks{static_cast<sim::Tick>(
+            static_cast<double>(config_.writeLatency.raw()) * degrade_)};
         sim_.schedule(latency, "ssd.write.done",
                       [this, offset, data = std::move(data),
                        cb = std::move(cb)]() {
@@ -133,8 +133,8 @@ Ssd::write(std::uint64_t offset, ec::Buffer data, std::uint64_t trace,
         span.node = traceNode_;
         span.lane = "ssd";
         span.name = "ssd.write";
-        span.start = start;
-        span.end = channel_.busyUntil();
+        span.start = start.raw();
+        span.end = channel_.busyUntil().raw();
         if (contention_ && contention_->enabled())
             span.tenant = contention_->tenantOf(trace);
         span.args.emplace_back("bytes", std::to_string(length));
@@ -154,7 +154,8 @@ Ssd::bindContention(telemetry::ContentionTracker *tracker,
                     std::uint32_t res)
 {
     contention_ = tracker;
-    channel_.bindContention(tracker, res);
+    channelTap_.bindContention(tracker, res);
+    channel_.setObserver(&channelTap_);
 }
 
 void

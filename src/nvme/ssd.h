@@ -23,6 +23,7 @@
 #include "sim/pipe.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
+#include "telemetry/lane_tap.h"
 
 namespace draid::telemetry {
 class ContentionTracker;
@@ -38,9 +39,9 @@ struct SsdConfig
     std::uint64_t capacity = 64ull << 30; ///< logical bytes
     double readBw = 3.2e9;                ///< bytes/s
     double writeBw = 2.375e9;             ///< bytes/s (~19 Gbps, §2.3)
-    sim::Tick readLatency = 84 * sim::kMicrosecond;
-    sim::Tick writeLatency = 14 * sim::kMicrosecond;
-    sim::Tick perCommand = 2 * sim::kMicrosecond; ///< channel occupancy/cmd
+    sim::Ticks readLatency = sim::Ticks::us(84);
+    sim::Ticks writeLatency = sim::Ticks::us(14);
+    sim::Ticks perCommand = sim::Ticks::us(2); ///< channel occupancy/cmd
 };
 
 /** One simulated NVMe drive. */
@@ -133,6 +134,10 @@ class Ssd : public blockdev::BlockDevice
      * expressed by scaling the byte count with the per-direction rate.
      */
     sim::Pipe channel_;
+    /** Observe-only contention tap for the shared channel (no spans: the
+     *  Ssd records its own "ssd.read"/"ssd.write" spans with media timing
+     *  included, so the tap's tracer is never bound). */
+    telemetry::LaneTap channelTap_;
     telemetry::Tracer *tracer_ = nullptr;
     sim::NodeId traceNode_ = 0;
     telemetry::ContentionTracker *contention_ = nullptr;
@@ -142,6 +147,7 @@ class Ssd : public blockdev::BlockDevice
     double degrade_ = 1.0;
     /** Latent sector errors: media start offset -> end offset (ordered so
      *  intersection checks are deterministic). */
+    // draid-lint: cap(injected LSE ranges; campaign config bounds injections)
     std::map<std::uint64_t, std::uint64_t> lse_;
     std::uint64_t lseHits_ = 0;
     /** First planted range intersecting [offset, offset+length), if any. */

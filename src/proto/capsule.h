@@ -52,7 +52,9 @@ struct Capsule
     std::uint16_t dataIdx = 0;    ///< chunk index (selects the Q coefficient)
 
     /** Scatter-gather lists for P- and Q-bound data. */
+    // draid-lint: cap(SGEs of one command; at most stripe width)
     std::vector<Sge> sgList;
+    // draid-lint: cap(SGEs of one command; at most stripe width)
     std::vector<Sge> sgList2;
 
     // --- reduce bookkeeping ---

@@ -64,9 +64,11 @@ class StripeLockTable
     struct LockState
     {
         bool held = false;
+        // draid-lint: cap(ops queued on one stripe; host queue depth)
         std::deque<Grant> waiters;
     };
 
+    // draid-lint: cap(live locked stripes; erased on release)
     std::unordered_map<std::uint64_t, LockState> locks_;
     std::uint64_t contended_ = 0;
     telemetry::EventJournal *journal_ = nullptr;

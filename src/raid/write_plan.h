@@ -40,9 +40,11 @@ struct StripeWritePlan
     WriteMode mode = WriteMode::kFullStripe;
 
     /** Chunks receiving new data, ordered by dataIdx. */
+    // draid-lint: cap(chunks of one stripe; at most data width)
     std::vector<WriteSegment> writes;
 
     /** Untouched data chunks to read whole (reconstruct write only). */
+    // draid-lint: cap(untouched chunks of one stripe; at most data width)
     std::vector<std::uint32_t> rcwReads;
 
     /** Parity byte range to update (union of deltas for RMW; whole chunk

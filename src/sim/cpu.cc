@@ -5,44 +5,33 @@
 #include <cmath>
 #include <utility>
 
-#include "telemetry/interference.h"
-#include "telemetry/trace.h"
-
 namespace draid::sim {
 
 void
-CpuCore::execute(Tick cost, EventFn done)
+CpuCore::execute(Ticks cost, EventFn done)
 {
     execute(cost, 0, "", std::move(done));
 }
 
 void
-CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
+CpuCore::execute(Ticks cost, std::uint64_t trace, const char *what,
                  EventFn done)
 {
-    assert(cost >= 0);
-    const Tick start = std::max(sim_.now(), busyUntil_);
-    const Tick end = start + cost;
+    assert(cost >= Ticks::zero());
+    const Ticks start = std::max(sim_.now(), busyUntil_);
+    const Ticks end = start + cost;
     busyUntil_ = end;
     busyTime_ += cost;
     statsBusy_ += cost;
 
-    if (trace != 0 && contention_ && contention_->enabled()) {
-        contention_->attributeWait(contentionRes_, trace, sim_.now(), start);
-        contention_->noteOccupancy(contentionRes_, trace, start, end);
-    }
-
-    if (trace != 0 && tracer_ && tracer_->active()) {
-        telemetry::TraceSpan span;
-        span.traceId = trace;
-        span.node = traceNode_;
-        span.lane = "cpu";
-        span.name = what;
-        span.start = start;
-        span.end = end;
-        if (contention_ && contention_->enabled())
-            span.tenant = contention_->tenantOf(trace);
-        tracer_->recordSpan(std::move(span));
+    if (trace != 0 && observer_) {
+        ServiceRecord rec;
+        rec.trace = trace;
+        rec.arrival = sim_.now();
+        rec.start = start;
+        rec.end = end;
+        rec.what = what;
+        observer_->onService(rec);
     }
 
     // Engine-profiler attribution: reuse the trace tag ("parity.xor",
@@ -53,53 +42,38 @@ CpuCore::execute(Tick cost, std::uint64_t trace, const char *what,
 }
 
 void
-CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Ticks fixed,
                       EventFn done)
 {
     executeBytes(bytes, bytes_per_sec, fixed, 0, "", std::move(done));
 }
 
 void
-CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+CpuCore::executeBytes(std::uint64_t bytes, double bytes_per_sec, Ticks fixed,
                       std::uint64_t trace, const char *what, EventFn done)
 {
     assert(bytes_per_sec > 0.0);
-    const Tick cost =
-        fixed + static_cast<Tick>(std::ceil(
-                    static_cast<double>(bytes) / bytes_per_sec * kSecond));
+    const Ticks cost =
+        fixed + Ticks{static_cast<Tick>(std::ceil(
+                    static_cast<double>(bytes) / bytes_per_sec * kSecond))};
     execute(cost, trace, what, std::move(done));
 }
 
-void
-CpuCore::bindTrace(telemetry::Tracer *tracer, NodeId node)
-{
-    tracer_ = tracer;
-    traceNode_ = node;
-}
-
-void
-CpuCore::bindContention(telemetry::ContentionTracker *tracker,
-                        std::uint32_t res)
-{
-    contention_ = tracker;
-    contentionRes_ = res;
-}
-
 double
-CpuCore::utilization(Tick window_start) const
+CpuCore::utilization(Ticks window_start) const
 {
-    const Tick now = sim_.now();
+    const Ticks now = sim_.now();
     if (now <= window_start)
         return 0.0;
-    const double busy = static_cast<double>(std::min(statsBusy_,
-                                                     now - window_start));
-    return busy / static_cast<double>(now - window_start);
+    const double busy = static_cast<double>(
+        std::min(statsBusy_, now - window_start).raw());
+    return busy / static_cast<double>((now - window_start).raw());
 }
 
 void
 CpuCore::resetStats()
 {
-    statsBusy_ = std::max<Tick>(0, busyUntil_ - sim_.now());
+    statsBusy_ = std::max(Ticks::zero(), busyUntil_ - sim_.now());
     statsStart_ = sim_.now();
 }
 

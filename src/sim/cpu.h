@@ -8,6 +8,9 @@
  * cumulative busy time so benches can report CPU utilization, which the
  * paper uses to argue dRAID is resource-conservative (<25% of one core per
  * SSD, §7).
+ *
+ * Telemetry reaches the core only through the observe-only ServiceObserver
+ * seam (sim/service.h): src/sim never includes src/telemetry.
  */
 
 #ifndef DRAID_SIM_CPU_H
@@ -15,13 +18,9 @@
 
 #include <cstdint>
 
+#include "sim/service.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
-
-namespace draid::telemetry {
-class ContentionTracker;
-class Tracer;
-}
 
 namespace draid::sim {
 
@@ -35,54 +34,46 @@ class CpuCore
      * Execute a work item costing @p cost ticks of CPU time; @p done fires
      * when the item retires.
      */
-    void execute(Tick cost, EventFn done);
+    void execute(Ticks cost, EventFn done);
 
     /**
      * As execute(), tagged with a per-op trace id; @p what names the span
-     * ("cmd.parse", "xor", ...). When tracing is bound and enabled and
-     * @p trace is nonzero, the exact core-occupancy window is recorded.
+     * ("cmd.parse", "xor", ...). When an observer is attached and
+     * @p trace is nonzero, the exact core-occupancy window is reported.
      */
-    void execute(Tick cost, std::uint64_t trace, const char *what,
+    void execute(Ticks cost, std::uint64_t trace, const char *what,
                  EventFn done);
 
     /**
      * Convenience: cost of processing @p bytes at @p bytes_per_sec plus a
      * fixed @p fixed cost, executed as one work item.
      */
-    void executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+    void executeBytes(std::uint64_t bytes, double bytes_per_sec, Ticks fixed,
                       EventFn done);
 
     /** Traced variant of executeBytes(). */
-    void executeBytes(std::uint64_t bytes, double bytes_per_sec, Tick fixed,
+    void executeBytes(std::uint64_t bytes, double bytes_per_sec, Ticks fixed,
                       std::uint64_t trace, const char *what, EventFn done);
 
-    /** Attach a span sink; spans land on node @p node, lane "cpu". */
-    void bindTrace(telemetry::Tracer *tracer, NodeId node);
-
-    /** Attach a contention tracker under resource id @p res (observe-only;
-     *  see Pipe::bindContention). */
-    void bindContention(telemetry::ContentionTracker *tracker,
-                        std::uint32_t res);
+    /** Attach the observe-only telemetry tap (telemetry::LaneTap). */
+    void setObserver(ServiceObserver *observer) { observer_ = observer; }
 
     /** Total busy ticks accumulated. */
-    Tick busyTime() const { return busyTime_; }
+    Ticks busyTime() const { return busyTime_; }
 
     /** Utilization over [window_start, now]. */
-    double utilization(Tick window_start) const;
+    double utilization(Ticks window_start) const;
 
     /** Reset the utilization window. */
     void resetStats();
 
   private:
     Simulator &sim_;
-    telemetry::Tracer *tracer_ = nullptr;
-    NodeId traceNode_ = 0;
-    telemetry::ContentionTracker *contention_ = nullptr;
-    std::uint32_t contentionRes_ = 0;
-    Tick busyUntil_ = 0;
-    Tick busyTime_ = 0;
-    Tick statsBusy_ = 0;
-    Tick statsStart_ = 0;
+    ServiceObserver *observer_ = nullptr;
+    Ticks busyUntil_;
+    Ticks busyTime_;
+    Ticks statsBusy_;
+    Ticks statsStart_;
 };
 
 } // namespace draid::sim

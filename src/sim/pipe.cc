@@ -3,15 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <string>
 #include <utility>
-
-#include "telemetry/interference.h"
-#include "telemetry/trace.h"
 
 namespace draid::sim {
 
-Pipe::Pipe(Simulator &sim, double bytes_per_sec, Tick latency, Tick per_op)
+Pipe::Pipe(Simulator &sim, double bytes_per_sec, Ticks latency, Ticks per_op)
     : sim_(sim), rate_(bytes_per_sec), latency_(latency), perOp_(per_op)
 {
     assert(rate_ > 0.0);
@@ -33,11 +29,11 @@ Pipe::transfer(std::uint64_t bytes, EventFn done)
 void
 Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
 {
-    const Tick service =
-        perOp_ + static_cast<Tick>(std::ceil(
-                     static_cast<double>(bytes) / rate_ * kSecond));
-    const Tick start = std::max(sim_.now(), busyUntil_);
-    const Tick end = start + service;
+    const Ticks service =
+        perOp_ + Ticks{static_cast<Tick>(std::ceil(
+                     static_cast<double>(bytes) / rate_ * kSecond))};
+    const Ticks start = std::max(sim_.now(), busyUntil_);
+    const Ticks end = start + service;
 
     busyUntil_ = end;
     busyTime_ += service;
@@ -45,60 +41,36 @@ Pipe::transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done)
     bytes_ += bytes;
     ++ops_;
 
-    if (trace != 0 && contention_ && contention_->enabled()) {
-        // FIFO service: [now, start) is exactly tiled by the occupancy
-        // segments already recorded, so the blame split sums to the wait.
-        contention_->attributeWait(contentionRes_, trace, sim_.now(), start);
-        contention_->noteOccupancy(contentionRes_, trace, start, end);
+    if (trace != 0 && observer_) {
+        // FIFO service: [now, start) is exactly the queueing window; the
+        // telemetry tap turns it into blame splits and a trace span.
+        ServiceRecord rec;
+        rec.trace = trace;
+        rec.arrival = sim_.now();
+        rec.start = start;
+        rec.end = end;
+        rec.bytes = bytes;
+        rec.what = label_;
+        observer_->onService(rec);
     }
 
-    if (trace != 0 && tracer_ && tracer_->active()) {
-        telemetry::TraceSpan span;
-        span.traceId = trace;
-        span.node = traceNode_;
-        span.lane = traceLane_;
-        span.name = traceLane_;
-        span.start = start;
-        span.end = end;
-        if (contention_ && contention_->enabled())
-            span.tenant = contention_->tenantOf(trace);
-        span.args.emplace_back("bytes", std::to_string(bytes));
-        tracer_->recordSpan(std::move(span));
-    }
-
-    // Engine-profiler attribution: completions carry the lane name bound
-    // by bindTrace ("nic.tx", "ssd.write", ...) when available.
+    // Engine-profiler attribution: completions carry the lane name set
+    // by setLabel ("nic.tx", "ssd.write", ...) when available.
     sim_.scheduleAt(end + latency_,
-                    *traceLane_ != '\0' ? traceLane_ : "pipe.xfer",
+                    *label_ != '\0' ? label_ : "pipe.xfer",
                     std::move(done));
 }
 
-void
-Pipe::bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane)
-{
-    tracer_ = tracer;
-    traceNode_ = node;
-    traceLane_ = lane;
-}
-
-void
-Pipe::bindContention(telemetry::ContentionTracker *tracker,
-                     std::uint32_t res)
-{
-    contention_ = tracker;
-    contentionRes_ = res;
-}
-
 double
-Pipe::utilization(Tick window_start) const
+Pipe::utilization(Ticks window_start) const
 {
-    const Tick now = sim_.now();
+    const Ticks now = sim_.now();
     if (now <= window_start)
         return 0.0;
     // Clamp: commitments may extend past `now`.
-    const double busy = static_cast<double>(std::min(statsBusy_,
-                                                     now - window_start));
-    return busy / static_cast<double>(now - window_start);
+    const double busy = static_cast<double>(
+        std::min(statsBusy_, now - window_start).raw());
+    return busy / static_cast<double>((now - window_start).raw());
 }
 
 void
@@ -106,7 +78,7 @@ Pipe::resetStats()
 {
     bytes_ = 0;
     ops_ = 0;
-    statsBusy_ = std::max<Tick>(0, busyUntil_ - sim_.now());
+    statsBusy_ = std::max(Ticks::zero(), busyUntil_ - sim_.now());
     statsStart_ = sim_.now();
 }
 

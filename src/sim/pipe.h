@@ -13,6 +13,9 @@
  * This simple model produces the two behaviours the evaluation depends on:
  * a hard bandwidth ceiling under load, and queueing latency that grows with
  * offered load.
+ *
+ * Telemetry reaches the pipe only through the observe-only ServiceObserver
+ * seam (sim/service.h): src/sim never includes src/telemetry.
  */
 
 #ifndef DRAID_SIM_PIPE_H
@@ -20,13 +23,9 @@
 
 #include <cstdint>
 
+#include "sim/service.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
-
-namespace draid::telemetry {
-class ContentionTracker;
-class Tracer;
-}
 
 namespace draid::sim {
 
@@ -41,8 +40,8 @@ class Pipe
      *                   callback fires (does not occupy the channel)
      * @param per_op     fixed channel occupancy added to every transfer
      */
-    Pipe(Simulator &sim, double bytes_per_sec, Tick latency = 0,
-         Tick per_op = 0);
+    Pipe(Simulator &sim, double bytes_per_sec, Ticks latency = Ticks::zero(),
+         Ticks per_op = Ticks::zero());
 
     /**
      * Submit a transfer of @p bytes; @p done fires when the last byte has
@@ -51,27 +50,30 @@ class Pipe
     void transfer(std::uint64_t bytes, EventFn done);
 
     /**
-     * As above, tagged with a per-op trace id. When tracing is bound and
-     * enabled and @p trace is nonzero, the exact channel-occupancy window
-     * (queueing excluded, service included) is recorded as a span.
+     * As above, tagged with a per-op trace id. When an observer is
+     * attached and @p trace is nonzero, the exact channel-occupancy
+     * window (queueing excluded, service included) is reported through
+     * the ServiceObserver seam.
      */
     void transfer(std::uint64_t bytes, std::uint64_t trace, EventFn done);
 
     /**
-     * Attach a span sink. @p lane names the Chrome thread ("nic.tx",
-     * "ssd.write", ...); spans are recorded on node @p node. Observe-only:
-     * tracing never changes the transfer timing computed above.
+     * Name this channel for engine-profiler attribution and trace lanes
+     * ("nic.tx", "ssd.write", ...). @p lane must be a string literal (or
+     * outlive the pipe); it also becomes the label of every completion
+     * event the pipe schedules.
      */
-    void bindTrace(telemetry::Tracer *tracer, NodeId node, const char *lane);
+    void setLabel(const char *lane) { label_ = lane; }
+
+    /** The channel's lane label ("" until setLabel()). */
+    const char *label() const { return label_; }
 
     /**
-     * Attach a contention tracker under resource id @p res. Observe-only
-     * like bindTrace: while the tracker is enabled, every traced transfer
-     * records its exact channel occupancy and any queue-wait is blamed on
-     * the tenants occupying the channel during the wait.
+     * Attach the observe-only telemetry tap (telemetry::LaneTap). While
+     * attached, every traced transfer reports its exact service window;
+     * the observer never changes the transfer timing computed above.
      */
-    void bindContention(telemetry::ContentionTracker *tracker,
-                        std::uint32_t res);
+    void setObserver(ServiceObserver *observer) { observer_ = observer; }
 
     /** Change the channel bandwidth (takes effect for future transfers). */
     void setRate(double bytes_per_sec);
@@ -86,17 +88,17 @@ class Pipe
     std::uint64_t opsTransferred() const { return ops_; }
 
     /** Total ticks the channel has been (or is committed to be) busy. */
-    Tick busyTime() const { return busyTime_; }
+    Ticks busyTime() const { return busyTime_; }
 
     /** Tick at which the channel becomes free given current commitments. */
-    Tick busyUntil() const { return busyUntil_; }
+    Ticks busyUntil() const { return busyUntil_; }
 
     /**
      * Fraction of time busy over [window_start, now]. Used by the
      * bandwidth-aware reconstruction planner to estimate available
      * bandwidth per node.
      */
-    double utilization(Tick window_start) const;
+    double utilization(Ticks window_start) const;
 
     /** Reset accounting counters (not the busy horizon). */
     void resetStats();
@@ -104,23 +106,20 @@ class Pipe
   private:
     Simulator &sim_;
     double rate_;
-    Tick latency_;
-    Tick perOp_;
+    Ticks latency_;
+    Ticks perOp_;
 
-    telemetry::Tracer *tracer_ = nullptr;
-    NodeId traceNode_ = 0;
-    const char *traceLane_ = "";
-    telemetry::ContentionTracker *contention_ = nullptr;
-    std::uint32_t contentionRes_ = 0;
+    const char *label_ = "";
+    ServiceObserver *observer_ = nullptr;
 
-    Tick busyUntil_ = 0;
-    Tick busyTime_ = 0;
+    Ticks busyUntil_;
+    Ticks busyTime_;
     std::uint64_t bytes_ = 0;
     std::uint64_t ops_ = 0;
 
     // Stats window bookkeeping for utilization().
-    Tick statsStart_ = 0;
-    Tick statsBusy_ = 0;
+    Ticks statsStart_;
+    Ticks statsBusy_;
 };
 
 } // namespace draid::sim

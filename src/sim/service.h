@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Observe-only seam between the FIFO resources (Pipe, CpuCore) and the
+ * telemetry layer.
+ *
+ * src/sim sits at the bottom of the layering DAG (DESIGN.md §6) and must
+ * not include src/telemetry; instead, every service decision a FIFO
+ * resource makes is reported through this interface, and the telemetry
+ * adapters (telemetry::LaneTap) translate the record into trace spans and
+ * contention-attribution calls. Implementations MUST NOT schedule events
+ * or otherwise mutate the simulation: the record is a pure statement of
+ * timing the resource already committed to.
+ */
+
+#ifndef DRAID_SIM_SERVICE_H
+#define DRAID_SIM_SERVICE_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace draid::sim {
+
+/** Facts about one FIFO service commitment, reported observe-only. */
+struct ServiceRecord
+{
+    /** Per-op trace id; the resource only reports when nonzero. */
+    std::uint64_t trace = 0;
+    Ticks arrival; ///< submission time (queueing starts here)
+    Ticks start;   ///< service start (queueing ends here)
+    Ticks end;     ///< service end (resource released)
+    std::uint64_t bytes = 0;    ///< payload size; 0 for pure-compute work
+    const char *what = nullptr; ///< work label ("parity.xor", ...); may
+                                ///< be nullptr for unlabeled work
+};
+
+/** Observe-only sink for ServiceRecords (implemented in src/telemetry). */
+class ServiceObserver
+{
+  public:
+    virtual ~ServiceObserver() = default;
+
+    /** One service commitment was made; @p rec.trace is nonzero. */
+    virtual void onService(const ServiceRecord &rec) = 0;
+};
+
+} // namespace draid::sim
+
+#endif // DRAID_SIM_SERVICE_H

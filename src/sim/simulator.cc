@@ -6,27 +6,27 @@
 namespace draid::sim {
 
 void
-Simulator::schedule(Tick delay, EventFn fn)
+Simulator::schedule(Ticks delay, EventFn fn)
 {
-    assert(delay >= 0);
+    assert(delay >= Ticks::zero());
     scheduleAt(now_ + delay, nullptr, std::move(fn));
 }
 
 void
-Simulator::schedule(Tick delay, const char *label, EventFn fn)
+Simulator::schedule(Ticks delay, const char *label, EventFn fn)
 {
-    assert(delay >= 0);
+    assert(delay >= Ticks::zero());
     scheduleAt(now_ + delay, label, std::move(fn));
 }
 
 void
-Simulator::scheduleAt(Tick when, EventFn fn)
+Simulator::scheduleAt(Ticks when, EventFn fn)
 {
     scheduleAt(when, nullptr, std::move(fn));
 }
 
 void
-Simulator::scheduleAt(Tick when, const char *label, EventFn fn)
+Simulator::scheduleAt(Ticks when, const char *label, EventFn fn)
 {
     assert(when >= now_);
     heap_.push_back(Event{when, seq_++, label, std::move(fn)});
@@ -36,7 +36,7 @@ Simulator::scheduleAt(Tick when, const char *label, EventFn fn)
 }
 
 void
-Simulator::drainTick(Tick when)
+Simulator::drainTick(Ticks when)
 {
     const std::size_t heap_before = heap_.size();
     while (!heap_.empty() && heap_.front().when == when) {
@@ -65,7 +65,7 @@ Simulator::execute(Event &ev)
 }
 
 void
-Simulator::advanceTo(Tick when)
+Simulator::advanceTo(Ticks when)
 {
     assert(when >= now_);
     const bool advanced = when > now_;
@@ -99,7 +99,7 @@ Simulator::run()
 }
 
 void
-Simulator::runUntil(Tick deadline)
+Simulator::runUntil(Ticks deadline)
 {
     assert(!running_);
     running_ = true;

@@ -9,6 +9,10 @@
  * the engine itself happens through the observe-only EngineObserver hook,
  * whose implementations live in src/telemetry/ (the only directory the
  * draid-lint wall-clock rule exempts).
+ *
+ * All simulated-time parameters and returns are the strong sim::Ticks type
+ * (draid-lint rule tick-unit): a raw integer can never silently cross the
+ * scheduling boundary with the wrong unit.
  */
 
 #ifndef DRAID_SIM_SIMULATOR_H
@@ -45,7 +49,7 @@ class EngineObserver
     virtual ~EngineObserver() = default;
 
     /** An event was pushed; @p pending counts events now queued. */
-    virtual void onSchedule(Tick when, const char *label,
+    virtual void onSchedule(Ticks when, const char *label,
                             std::size_t pending) = 0;
 
     /**
@@ -53,11 +57,11 @@ class EngineObserver
      * @p batch is the same-tick batch size, @p heap_before the queue
      * depth immediately before the drain.
      */
-    virtual void onBatchDrain(Tick when, std::size_t batch,
+    virtual void onBatchDrain(Ticks when, std::size_t batch,
                               std::size_t heap_before) = 0;
 
     /** Fired immediately before an event callback executes. */
-    virtual void onEventStart(Tick now, const char *label) = 0;
+    virtual void onEventStart(Ticks now, const char *label) = 0;
 
     /** Fired immediately after the event callback returns. */
     virtual void onEventEnd() = 0;
@@ -83,13 +87,13 @@ class Simulator
     Simulator &operator=(const Simulator &) = delete;
 
     /** Current simulated time. */
-    Tick now() const { return now_; }
+    Ticks now() const { return now_; }
 
     /**
      * Schedule @p fn to run @p delay ticks from now.
-     * @pre delay >= 0
+     * @pre delay >= zero
      */
-    void schedule(Tick delay, EventFn fn);
+    void schedule(Ticks delay, EventFn fn);
 
     /**
      * As above, tagged with a cost-attribution label for the engine
@@ -97,21 +101,22 @@ class Simulator
      * (in practice: a string literal). The label has no effect on the
      * simulation; it only reaches the EngineObserver.
      */
-    void schedule(Tick delay, const char *label, EventFn fn);
+    void schedule(Ticks delay, const char *label, EventFn fn);
 
     /**
      * Schedule @p fn to run at absolute tick @p when.
      * @pre when >= now()
      */
-    void scheduleAt(Tick when, EventFn fn);
+    void scheduleAt(Ticks when, EventFn fn);
 
     /** Labeled variant of scheduleAt(); see the labeled schedule(). */
-    void scheduleAt(Tick when, const char *label, EventFn fn);
+    void scheduleAt(Ticks when, const char *label, EventFn fn);
 
     /**
      * Run until the event queue drains or stop() is called. Not
      * reentrant: events must not call run()/runUntil() themselves (use
-     * stop() and resume from the driver instead).
+     * stop() and resume from the driver instead; draid-lint rule
+     * callback-discipline enforces this statically).
      */
     void run();
 
@@ -120,10 +125,10 @@ class Simulator
      * deadline tick) or the queue drains. The clock is advanced to
      * @p deadline even if the queue drains earlier.
      */
-    void runUntil(Tick deadline);
+    void runUntil(Ticks deadline);
 
     /** Run for @p duration ticks from the current time. */
-    void runFor(Tick duration) { runUntil(now_ + duration); }
+    void runFor(Ticks duration) { runUntil(now_ + duration); }
 
     /** Request that run()/runUntil() return after the current event. */
     void stop() { stopped_ = true; }
@@ -144,7 +149,7 @@ class Simulator
      * or otherwise mutate the simulation — it exists precisely so that
      * sampling cannot perturb event ordering. Pass nullptr to remove.
      */
-    void setClockObserver(std::function<void(Tick)> fn)
+    void setClockObserver(std::function<void(Ticks)> fn)
     {
         clockObserver_ = std::move(fn);
     }
@@ -162,7 +167,7 @@ class Simulator
   private:
     struct Event
     {
-        Tick when;
+        Ticks when;
         std::uint64_t seq;
         const char *label; ///< static attribution tag; may be nullptr
         EventFn fn;
@@ -185,20 +190,22 @@ class Simulator
      * move out legally — no const_cast out of a priority_queue top — and
      * amortizes per-event pop cost across the same-tick batch.
      */
-    void drainTick(Tick when);
+    void drainTick(Ticks when);
 
     /** Execute one drained event, bracketing it with the observer hooks. */
     void execute(Event &ev);
 
     /** Advance the clock to @p when, firing the clock observer. */
-    void advanceTo(Tick when);
+    void advanceTo(Ticks when);
 
+    // draid-lint: cap(pending events; drained to batch_ every tick)
     std::vector<Event> heap_; ///< binary min-heap under EventOrder
+    // draid-lint: cap(same-tick batch; cleared before every drain)
     std::vector<Event> batch_; ///< current same-tick batch, FIFO order
     std::size_t batchPos_ = 0; ///< next unexecuted event in batch_
-    std::function<void(Tick)> clockObserver_;
+    std::function<void(Ticks)> clockObserver_;
     EngineObserver *engineObserver_ = nullptr;
-    Tick now_ = 0;
+    Ticks now_;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
     bool stopped_ = false;

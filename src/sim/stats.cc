@@ -7,25 +7,26 @@
 namespace draid::sim {
 
 void
-LatencyRecorder::record(Tick sample)
+LatencyRecorder::record(Ticks sample)
 {
+    const Tick raw = sample.raw();
     const std::uint64_t idx = count_++;
-    sum_ += sample;
+    sum_ += raw;
     const auto u = static_cast<unsigned __int128>(
-        static_cast<std::uint64_t>(sample));
+        static_cast<std::uint64_t>(raw));
     sumSq_ += u * u;
     if (count_ == 1) {
-        min_ = sample;
-        max_ = sample;
+        min_ = raw;
+        max_ = raw;
     } else {
-        min_ = std::min(min_, sample);
-        max_ = std::max(max_, sample);
+        min_ = std::min(min_, raw);
+        max_ = std::max(max_, raw);
     }
     if (idx % stride_ != 0)
         return;
     if (samples_.size() >= kSampleCap)
         decimate();
-    samples_.push_back(sample);
+    samples_.push_back(raw);
     sorted_ = false;
 }
 
@@ -46,16 +47,16 @@ LatencyRecorder::decimate()
     stride_ *= 2;
 }
 
-Tick
+Ticks
 LatencyRecorder::min() const
 {
-    return count_ == 0 ? 0 : min_;
+    return Ticks{count_ == 0 ? 0 : min_};
 }
 
-Tick
+Ticks
 LatencyRecorder::max() const
 {
-    return count_ == 0 ? 0 : max_;
+    return Ticks{count_ == 0 ? 0 : max_};
 }
 
 double
@@ -84,19 +85,19 @@ LatencyRecorder::stddev() const
     return std::sqrt(static_cast<double>(num)) / static_cast<double>(n);
 }
 
-Tick
+Ticks
 LatencyRecorder::percentile(double p) const
 {
     if (samples_.empty())
-        return 0;
+        return Ticks::zero();
     assert(p >= 0.0 && p <= 100.0);
     // The extremes are exact running aggregates — decimation must not
     // lose the true min/max — and nearest-rank rounding must not shift
     // them onto a neighbouring sample.
     if (p <= 0.0)
-        return min_;
+        return Ticks{min_};
     if (p >= 100.0)
-        return max_;
+        return Ticks{max_};
     sortIfNeeded();
     const auto n = samples_.size();
     // The epsilon absorbs floating-point noise in p/100*n (e.g. 0.999*1000
@@ -107,7 +108,7 @@ LatencyRecorder::percentile(double p) const
     if (rank > 0)
         --rank;
     rank = std::min(rank, n - 1);
-    return samples_[rank];
+    return Ticks{samples_[rank]};
 }
 
 void
@@ -134,7 +135,7 @@ LatencyRecorder::sortIfNeeded() const
 }
 
 void
-ThroughputMeter::start(Tick now)
+ThroughputMeter::start(Ticks now)
 {
     bytes_ = 0;
     ops_ = 0;
@@ -150,7 +151,7 @@ ThroughputMeter::complete(std::uint64_t bytes)
 }
 
 void
-ThroughputMeter::finish(Tick now)
+ThroughputMeter::finish(Ticks now)
 {
     end_ = now;
 }
@@ -158,8 +159,8 @@ ThroughputMeter::finish(Tick now)
 double
 ThroughputMeter::bandwidthMBps() const
 {
-    const Tick dt = end_ - begin_;
-    if (dt <= 0)
+    const Ticks dt = end_ - begin_;
+    if (dt <= Ticks::zero())
         return 0.0;
     return static_cast<double>(bytes_) / toSeconds(dt) / 1e6;
 }
@@ -167,8 +168,8 @@ ThroughputMeter::bandwidthMBps() const
 double
 ThroughputMeter::kiops() const
 {
-    const Tick dt = end_ - begin_;
-    if (dt <= 0)
+    const Ticks dt = end_ - begin_;
+    if (dt <= Ticks::zero())
         return 0.0;
     return static_cast<double>(ops_) / toSeconds(dt) / 1e3;
 }

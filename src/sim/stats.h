@@ -1,6 +1,10 @@
 /**
  * @file
  * Measurement helpers: latency distributions and throughput meters.
+ *
+ * Public time-valued parameters and results use the strong sim::Ticks type
+ * (draid-lint rule tick-unit); the retained sample vector stays raw Tick
+ * internally, converted only at the API edge.
  */
 
 #ifndef DRAID_SIM_STATS_H
@@ -30,7 +34,7 @@ class LatencyRecorder
     static constexpr std::size_t kSampleCap = 262'144;
 
     /** Add one sample. */
-    void record(Tick sample);
+    void record(Ticks sample);
 
     /** Samples recorded (exact, independent of retention). */
     std::size_t count() const { return static_cast<std::size_t>(count_); }
@@ -44,10 +48,10 @@ class LatencyRecorder
     /** Current keep stride (1 until the cap is first hit). */
     std::uint64_t sampleStride() const { return stride_; }
 
-    Tick min() const;
-    Tick max() const;
+    Ticks min() const;
+    Ticks max() const;
 
-    /** Arithmetic mean; 0 when empty. */
+    /** Arithmetic mean in ticks; 0 when empty. */
     double mean() const;
 
     /** Population standard deviation; 0 when fewer than two samples. */
@@ -55,15 +59,15 @@ class LatencyRecorder
 
     /**
      * p-th percentile by nearest-rank on the sorted samples, p in [0, 100].
-     * p=0 is exactly min() and p=100 exactly max(). Returns 0 when empty.
+     * p=0 is exactly min() and p=100 exactly max(). Returns zero when empty.
      */
-    Tick percentile(double p) const;
+    Ticks percentile(double p) const;
 
     /** Mean in microseconds, the unit the paper plots. */
     double meanMicros() const { return mean() / kMicrosecond; }
 
     /** Tail latency: the 99.9th percentile (nearest-rank). */
-    Tick p999() const { return percentile(99.9); }
+    Ticks p999() const { return percentile(99.9); }
 
     void clear();
 
@@ -72,6 +76,7 @@ class LatencyRecorder
     /** Halve the retained set (keep every 2nd, stride doubling). */
     void decimate();
 
+    // draid-lint: cap(kSampleCap; decimated in place on overflow)
     std::vector<Tick> samples_;
     mutable bool sorted_ = true;
     Tick sum_ = 0;
@@ -90,17 +95,17 @@ class ThroughputMeter
 {
   public:
     /** Mark the start of the measurement window. */
-    void start(Tick now);
+    void start(Ticks now);
 
     /** Record a completed operation of @p bytes. */
     void complete(std::uint64_t bytes);
 
     /** Mark the end of the measurement window. */
-    void finish(Tick now);
+    void finish(Ticks now);
 
     std::uint64_t bytes() const { return bytes_; }
     std::uint64_t ops() const { return ops_; }
-    Tick elapsed() const { return end_ - begin_; }
+    Ticks elapsed() const { return end_ - begin_; }
 
     /** Bandwidth in MB/s (10^6 bytes per second, as FIO reports). */
     double bandwidthMBps() const;
@@ -111,8 +116,8 @@ class ThroughputMeter
   private:
     std::uint64_t bytes_ = 0;
     std::uint64_t ops_ = 0;
-    Tick begin_ = 0;
-    Tick end_ = 0;
+    Ticks begin_;
+    Ticks end_;
 };
 
 } // namespace draid::sim

@@ -1,16 +1,32 @@
 /**
  * @file
  * Fundamental time and identifier types shared by the whole simulator.
+ *
+ * One unit, two spellings:
+ *
+ *  - Tick  — the raw int64 nanosecond count. Storage and serialization
+ *            only: trace-span stamps, journal entries, JSON export, and
+ *            struct fields that must stay plain integers.
+ *  - Ticks — the strong duration/instant type wrapping a Tick. The only
+ *            time type allowed in scheduling and latency API signatures
+ *            (enforced by the draid-lint `tick-unit` rule; DESIGN.md §6).
+ *            Construction is explicit, there is no implicit mixing with
+ *            integers, and unit conversions are checked — so a µs count
+ *            can never silently flow into an API expecting ns.
+ *
+ * All arithmetic on Ticks is the same int64 arithmetic the raw count
+ * would do; wrapping is behavior-neutral by construction.
  */
 
 #ifndef DRAID_SIM_TYPES_H
 #define DRAID_SIM_TYPES_H
 
+#include <cassert>
 #include <cstdint>
 
 namespace draid::sim {
 
-/** Simulated time in integer nanoseconds. */
+/** Simulated time in integer nanoseconds (raw count; see Ticks). */
 using Tick = std::int64_t;
 
 /** Convenience tick constants. */
@@ -19,6 +35,111 @@ constexpr Tick kMicrosecond = 1'000;
 constexpr Tick kMillisecond = 1'000'000;
 constexpr Tick kSecond = 1'000'000'000;
 
+/**
+ * A strong simulated-time quantity (duration or instant), in ticks.
+ *
+ * The contract:
+ *  - explicit construction from a raw count: `Ticks{raw}`, or unit-named
+ *    factories `Ticks::us(84)`, `Ticks::ms(50)`, ...;
+ *  - no implicit conversion to or from integers — crossing the boundary
+ *    is always spelled (`.raw()`, `.toNs()`, `.toUs()`);
+ *  - `toNs()` is exact by definition (ticks are nanoseconds); `toUs()`
+ *    is checked: it asserts the value is a whole number of microseconds,
+ *    so lossy unit truncation cannot hide in a conversion. For display
+ *    math use the lossy-but-explicit `toMicros(Ticks)` / `toSeconds(Ticks)`
+ *    free functions, which return double.
+ */
+class Ticks
+{
+  public:
+    constexpr Ticks() = default;
+    constexpr explicit Ticks(Tick raw_ns) : v_(raw_ns) {}
+
+    static constexpr Ticks zero() { return Ticks{0}; }
+    static constexpr Ticks ns(Tick n) { return Ticks{n * kNanosecond}; }
+    static constexpr Ticks us(Tick n) { return Ticks{n * kMicrosecond}; }
+    static constexpr Ticks ms(Tick n) { return Ticks{n * kMillisecond}; }
+    static constexpr Ticks sec(Tick n) { return Ticks{n * kSecond}; }
+
+    /** Seconds → ticks, rounded to nearest (same rounding as the
+     *  historical fromSeconds(), so calibration constants are stable). */
+    static constexpr Ticks fromSeconds(double s)
+    {
+        return Ticks{static_cast<Tick>(s * static_cast<double>(kSecond) +
+                                       0.5)};
+    }
+
+    /** The raw tick count, for storage/serialization edges. */
+    constexpr Tick raw() const { return v_; }
+
+    /** Checked ns conversion (exact: one tick is one nanosecond). */
+    constexpr Tick toNs() const { return v_; }
+
+    /** Checked µs conversion: asserts the value is whole microseconds. */
+    constexpr Tick toUs() const
+    {
+        return assert(v_ % kMicrosecond == 0), v_ / kMicrosecond;
+    }
+
+    constexpr Ticks operator-() const { return Ticks{-v_}; }
+    constexpr Ticks &operator+=(Ticks o) { v_ += o.v_; return *this; }
+    constexpr Ticks &operator-=(Ticks o) { v_ -= o.v_; return *this; }
+
+    friend constexpr Ticks operator+(Ticks a, Ticks b)
+    {
+        return Ticks{a.v_ + b.v_};
+    }
+    friend constexpr Ticks operator-(Ticks a, Ticks b)
+    {
+        return Ticks{a.v_ - b.v_};
+    }
+    /** Scalar scaling keeps the unit; Ticks*Ticks would be ns² and does
+     *  not exist. */
+    friend constexpr Ticks operator*(Ticks t, std::int64_t k)
+    {
+        return Ticks{t.v_ * k};
+    }
+    friend constexpr Ticks operator*(std::int64_t k, Ticks t)
+    {
+        return Ticks{t.v_ * k};
+    }
+    friend constexpr Ticks operator/(Ticks t, std::int64_t k)
+    {
+        return Ticks{t.v_ / k};
+    }
+    /** Duration ratio: unitless. */
+    friend constexpr std::int64_t operator/(Ticks a, Ticks b)
+    {
+        return a.v_ / b.v_;
+    }
+    friend constexpr Ticks operator%(Ticks a, Ticks b)
+    {
+        return Ticks{a.v_ % b.v_};
+    }
+
+    friend constexpr bool operator==(Ticks a, Ticks b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool operator!=(Ticks a, Ticks b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool operator<(Ticks a, Ticks b) { return a.v_ < b.v_; }
+    friend constexpr bool operator<=(Ticks a, Ticks b)
+    {
+        return a.v_ <= b.v_;
+    }
+    friend constexpr bool operator>(Ticks a, Ticks b) { return a.v_ > b.v_; }
+    friend constexpr bool operator>=(Ticks a, Ticks b)
+    {
+        return a.v_ >= b.v_;
+    }
+
+  private:
+    Tick v_ = 0;
+};
+
 /** Convert a tick count to floating-point seconds. */
 constexpr double
 toSeconds(Tick t)
@@ -26,11 +147,23 @@ toSeconds(Tick t)
     return static_cast<double>(t) / static_cast<double>(kSecond);
 }
 
+constexpr double
+toSeconds(Ticks t)
+{
+    return toSeconds(t.raw());
+}
+
 /** Convert a tick count to floating-point microseconds. */
 constexpr double
 toMicros(Tick t)
 {
     return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double
+toMicros(Ticks t)
+{
+    return toMicros(t.raw());
 }
 
 /** Convert floating-point seconds to ticks (round to nearest). */

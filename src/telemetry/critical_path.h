@@ -104,6 +104,7 @@ struct ResourceBusy
 /** Everything the analyzer derives from one run's span stream. */
 struct CriticalPathReport
 {
+    // draid-lint: cap(one breakdown per root span; tracer spanCap_ bounds it)
     std::vector<OpBreakdown> ops; ///< completion (root-end) order
     std::array<PhaseSummary, kNumPhases> phases{};
 
@@ -112,6 +113,7 @@ struct CriticalPathReport
     sim::Tick windowEnd = 0;
 
     /** Per-resource busy, sorted by descending busy fraction. */
+    // draid-lint: cap(one row per resource lane; fixed topology)
     std::vector<ResourceBusy> resources;
 
     bool hasVerdict() const { return !resources.empty(); }

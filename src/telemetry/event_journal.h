@@ -115,6 +115,7 @@ class EventJournal
 
   private:
     bool enabled_ = true;
+    // draid-lint: cap(capacity ctor arg; ring overwrite, never grows)
     std::vector<Event> ring_;
     std::size_t next_ = 0;    ///< slot the next record lands in
     std::uint64_t total_ = 0; ///< records ever pushed

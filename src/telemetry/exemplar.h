@@ -55,6 +55,7 @@ class ExemplarReservoir
         std::uint32_t tenant = 0; ///< owning tenant; 0 = untracked
         /** Every span recorded under the trace id, in record order; the
          *  root op span is last. */
+        // draid-lint: cap(spans of a single op; bounded op fan-out)
         std::vector<TraceSpan> chain;
 
         sim::Tick latency() const { return end - start; }
@@ -117,6 +118,7 @@ class ExemplarReservoir
   private:
     struct Window
     {
+        // draid-lint: cap(per-window slot budget; worst evicted on overflow)
         std::vector<Exemplar> slots; ///< unordered; collect() sorts
     };
 
@@ -128,8 +130,10 @@ class ExemplarReservoir
     std::uint64_t kept_ = 0;
     std::uint64_t evicted_ = 0;
     std::uint64_t windowsEvicted_ = 0;
+    // draid-lint: cap(retained window span; oldest windows evicted)
     std::map<std::int64_t, Window> windows_; ///< window index -> slots
     /** trace id -> (window index, slot) for appendIfHeld. */
+    // draid-lint: cap(mirrors live slots across retained windows)
     std::map<std::uint64_t, std::pair<std::int64_t, std::size_t>> held_;
 };
 

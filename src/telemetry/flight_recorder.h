@@ -126,6 +126,7 @@ class FlightRecorder
     bool dumpOnAbnormal_ = false;
     int abnormalDumps_ = 0;
     std::uint64_t total_ = 0;
+    // draid-lint: cap(capacity ctor arg; ring overwrite, never grows)
     std::vector<Record> ring_;
 };
 

@@ -258,6 +258,7 @@ class ContentionTracker
         sim::Tick waitTicks = 0;
         std::uint64_t waitedOps = 0;
         /** key (0 for pipes/cores; stripe for locks) -> FIFO segments. */
+        // draid-lint: cap(kMaxSegmentsPerKey per key; keys bounded by live stripes)
         std::map<std::uint64_t, std::deque<Segment>> segs;
     };
 
@@ -265,12 +266,14 @@ class ContentionTracker
     struct Cell
     {
         sim::Tick total = 0;
+        // draid-lint: cap(kMaxWindows; width doubles on overflow)
         std::map<std::int64_t, sim::Tick> byWindow;
     };
 
     /** Stride-decimated latency sample set (bounded, deterministic). */
     struct SampleSet
     {
+        // draid-lint: cap(SampleSet::cap; stride-decimated on overflow)
         std::vector<sim::Tick> samples;
         std::uint64_t seq = 0;
         std::uint64_t stride = 1;
@@ -298,6 +301,7 @@ class ContentionTracker
         std::uint64_t bytes = 0;
         sim::Tick latencySum = 0;
         SampleSet lat;
+        // draid-lint: cap(kMaxWindows; width doubles on overflow)
         std::map<std::int64_t, SloWindow> windows;
     };
 
@@ -321,12 +325,16 @@ class ContentionTracker
     MetricsRegistry *metrics_ = nullptr;
 
     /** Index is the tenant id; [0] is "untracked". */
+    // draid-lint: cap(kMaxTenants + 2)
     std::vector<Tenant> tenants_;
     TenantId overflowTenant_ = 0; ///< lazily created "other" id
     TenantId current_ = kUntracked;
 
+    // draid-lint: cap(kMaxLiveOps; oldest evicted)
     std::map<std::uint64_t, TenantId> liveOps_;
+    // draid-lint: cap(one entry per registered resource; fixed topology)
     std::vector<Resource> resources_;
+    // draid-lint: cap((kMaxTenants + 2)^2 x resource kinds)
     std::map<std::tuple<TenantId, TenantId, std::uint8_t>, Cell> matrix_;
 
     sim::Tick totalWait_ = 0;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * LaneTap: the telemetry-side adapter for the sim::ServiceObserver seam.
+ *
+ * src/sim's FIFO resources (Pipe, CpuCore) report every traced service
+ * commitment through sim/service.h without knowing telemetry exists; a
+ * LaneTap attached via setObserver() translates each ServiceRecord into
+ * the trace span and contention-attribution calls the old tightly-coupled
+ * bindTrace/bindContention paths used to make — in the same order, with
+ * the same gating, so output is byte-identical.
+ *
+ * One LaneTap serves one resource. Style selects the span shape:
+ *  - kPipe: lane = name = the resource's label, "bytes" span arg.
+ *  - kCpu:  lane = "cpu", name = the work label, no payload arg.
+ */
+
+#ifndef DRAID_TELEMETRY_LANE_TAP_H
+#define DRAID_TELEMETRY_LANE_TAP_H
+
+#include <cstdint>
+
+#include "sim/service.h"
+#include "sim/types.h"
+
+namespace draid::telemetry {
+
+class ContentionTracker;
+class Tracer;
+
+/** Observe-only bridge from one FIFO resource into telemetry. */
+class LaneTap final : public sim::ServiceObserver
+{
+  public:
+    enum class Style
+    {
+        kPipe, ///< bandwidth lane: span lane/name = resource label
+        kCpu,  ///< compute lane: span lane "cpu", name = work label
+    };
+
+    explicit LaneTap(Style style = Style::kPipe) : style_(style) {}
+
+    /** Attach a span sink; spans land on node @p node. */
+    void bindTrace(Tracer *tracer, sim::NodeId node)
+    {
+        tracer_ = tracer;
+        node_ = node;
+    }
+
+    /** Attach a contention tracker under resource id @p res. */
+    void bindContention(ContentionTracker *tracker, std::uint32_t res)
+    {
+        contention_ = tracker;
+        res_ = res;
+    }
+
+    const Tracer *tracer() const { return tracer_; }
+    const ContentionTracker *contention() const { return contention_; }
+
+    void onService(const sim::ServiceRecord &rec) override;
+
+  private:
+    Style style_;
+    Tracer *tracer_ = nullptr;
+    sim::NodeId node_ = 0;
+    ContentionTracker *contention_ = nullptr;
+    std::uint32_t res_ = 0;
+};
+
+} // namespace draid::telemetry
+
+#endif // DRAID_TELEMETRY_LANE_TAP_H

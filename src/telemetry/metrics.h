@@ -87,7 +87,9 @@ class Histogram
     }
 
   private:
+    // draid-lint: cap(bucket bounds; fixed at construction)
     std::vector<double> bounds_;
+    // draid-lint: cap(bounds_.size() + 1; fixed at construction)
     std::vector<std::uint64_t> counts_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -148,9 +150,13 @@ class MetricsRegistry
     std::string toJson() const;
 
   private:
+    // draid-lint: cap(registered metric names; code-defined set)
     std::map<std::string, Counter> counters_;
+    // draid-lint: cap(registered metric names; code-defined set)
     std::map<std::string, Gauge> gauges_;
+    // draid-lint: cap(registered metric names; code-defined set)
     std::map<std::string, Histogram> histograms_;
+    // draid-lint: cap(registered metric names; code-defined set)
     std::map<std::string, std::function<double()>> probes_;
 };
 

@@ -58,7 +58,7 @@ SimProfiler::slotFor(const char *label)
 }
 
 void
-SimProfiler::onSchedule(sim::Tick, const char *, std::size_t pending)
+SimProfiler::onSchedule(sim::Ticks, const char *, std::size_t pending)
 {
     ++scheduled_;
     maxQueueDepth_ = std::max(maxQueueDepth_, pending);
@@ -66,7 +66,7 @@ SimProfiler::onSchedule(sim::Tick, const char *, std::size_t pending)
 }
 
 void
-SimProfiler::onBatchDrain(sim::Tick, std::size_t batch, std::size_t)
+SimProfiler::onBatchDrain(sim::Ticks, std::size_t batch, std::size_t)
 {
     ++drains_;
     maxBatch_ = std::max(maxBatch_, batch);
@@ -74,7 +74,7 @@ SimProfiler::onBatchDrain(sim::Tick, std::size_t batch, std::size_t)
 }
 
 void
-SimProfiler::onEventStart(sim::Tick, const char *label)
+SimProfiler::onEventStart(sim::Ticks, const char *label)
 {
     eventSlot_ = slotFor(label);
     inEvent_ = true;

@@ -69,10 +69,13 @@ class SimProfiler final : public sim::EngineObserver
         double eventsPerSec = 0.0;   ///< events / wallNs, in Hz
         std::size_t maxQueueDepth = 0;
         std::size_t maxBatch = 0;
+        // draid-lint: cap(kHistBins)
         std::vector<std::uint64_t> depthHist; ///< kHistBins log2 bins
+        // draid-lint: cap(kHistBins)
         std::vector<std::uint64_t> batchHist; ///< kHistBins log2 bins
         /** All labels (not just top-K), sorted by totalNs descending,
          *  ties broken by label so equal-cost rows order stably. */
+        // draid-lint: cap(one row per profiled label; code-defined set)
         std::vector<LabelCost> sources;
     };
 
@@ -86,11 +89,11 @@ class SimProfiler final : public sim::EngineObserver
     static std::uint64_t binFloor(std::size_t b) { return 1ull << b; }
 
     // sim::EngineObserver — observe-only, called from the engine.
-    void onSchedule(sim::Tick when, const char *label,
+    void onSchedule(sim::Ticks when, const char *label,
                     std::size_t pending) override;
-    void onBatchDrain(sim::Tick when, std::size_t batch,
+    void onBatchDrain(sim::Ticks when, std::size_t batch,
                       std::size_t heap_before) override;
-    void onEventStart(sim::Tick now, const char *label) override;
+    void onEventStart(sim::Ticks now, const char *label) override;
     void onEventEnd() override;
     void onRunStart() override;
     void onRunEnd() override;
@@ -159,8 +162,11 @@ class SimProfiler final : public sim::EngineObserver
      *  outside FlightRecorder's crash path. */
     static std::uint64_t hostNowNs();
 
+    // draid-lint: cap(one slot per static label site; code-defined set)
     std::vector<Slot> slots_;
+    // draid-lint: cap(one row per addExternalCost label; code-defined set)
     std::vector<Slot> externals_; ///< addExternalCost rows
+    // draid-lint: cap(mirrors slots_; code-defined label set)
     std::unordered_map<const void *, std::size_t> slotIndex_;
     const char *lastLabel_ = nullptr; ///< one-entry lookup cache
     std::size_t lastSlot_ = 0;

@@ -9,34 +9,35 @@ namespace draid::telemetry {
 
 void
 UtilizationSampler::addSource(sim::NodeId node, std::string name,
-                              std::function<sim::Tick()> busy)
+                              std::function<sim::Ticks()> busy)
 {
-    sources_.push_back(Source{node, std::move(name), std::move(busy), 0});
+    sources_.push_back(
+        Source{node, std::move(name), std::move(busy), sim::Ticks::zero()});
 }
 
 void
-UtilizationSampler::start(sim::Simulator &sim, sim::Tick interval,
+UtilizationSampler::start(sim::Simulator &sim, sim::Ticks interval,
                           Tracer *tracer)
 {
-    assert(interval > 0);
+    assert(interval > sim::Ticks::zero());
     interval_ = interval;
     lastEmit_ = sim.now();
     nextSample_ = sim.now() + interval;
     tracer_ = tracer;
     for (auto &src : sources_)
         src.lastBusy = src.busy();
-    sim.setClockObserver([this](sim::Tick now) { onClockAdvance(now); });
+    sim.setClockObserver([this](sim::Ticks now) { onClockAdvance(now); });
 }
 
 void
-UtilizationSampler::onClockAdvance(sim::Tick now)
+UtilizationSampler::onClockAdvance(sim::Ticks now)
 {
-    if (interval_ <= 0 || now < nextSample_)
+    if (interval_ <= sim::Ticks::zero() || now < nextSample_)
         return;
     // One sample per advance, stamped at the greatest interval boundary
     // <= now, covering the whole window since the previous emission. The
     // busy counters include committed (future) occupancy, so clamp.
-    const sim::Tick boundary =
+    const sim::Ticks boundary =
         nextSample_ + ((now - nextSample_) / interval_) * interval_;
     ++rounds_;
     if (emitStride_ > 1 && (rounds_ - 1) % emitStride_ != 0) {
@@ -49,19 +50,20 @@ UtilizationSampler::onClockAdvance(sim::Tick now)
     if (!sources_.empty() &&
         samples_.size() + sources_.size() > sampleCap_)
         mergeSampleRounds();
-    const sim::Tick window = boundary - lastEmit_;
+    const sim::Ticks window = boundary - lastEmit_;
     for (auto &src : sources_) {
-        const sim::Tick busyNow = src.busy();
-        double frac = window > 0
-                          ? static_cast<double>(busyNow - src.lastBusy) /
-                                static_cast<double>(window)
-                          : 0.0;
+        const sim::Ticks busyNow = src.busy();
+        double frac =
+            window > sim::Ticks::zero()
+                ? static_cast<double>((busyNow - src.lastBusy).raw()) /
+                      static_cast<double>(window.raw())
+                : 0.0;
         if (frac > 1.0)
             frac = 1.0;
         src.lastBusy = busyNow;
-        samples_.push_back(Sample{src.node, src.name, boundary, frac});
+        samples_.push_back(Sample{src.node, src.name, boundary.raw(), frac});
         if (tracer_ && tracer_->enabled())
-            tracer_->recordCounter(src.node, src.name, boundary, frac);
+            tracer_->recordCounter(src.node, src.name, boundary.raw(), frac);
     }
     lastEmit_ = boundary;
     nextSample_ = boundary + interval_;

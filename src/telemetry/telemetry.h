@@ -50,21 +50,21 @@ class UtilizationSampler
      * ticks (monotone non-decreasing) and outlive the sampler.
      */
     void addSource(sim::NodeId node, std::string name,
-                   std::function<sim::Tick()> busy);
+                   std::function<sim::Ticks()> busy);
 
     /**
      * Begin sampling every @p interval ticks. Also mirrors samples into
      * @p tracer as Chrome "C" counter events when it is enabled.
      */
-    void start(sim::Simulator &sim, sim::Tick interval,
+    void start(sim::Simulator &sim, sim::Ticks interval,
                Tracer *tracer = nullptr);
 
-    bool started() const { return interval_ > 0; }
+    bool started() const { return interval_ > sim::Ticks::zero(); }
 
     const std::vector<Sample> &samples() const { return samples_; }
 
     /** Sampler hook, exposed for tests; called by the clock observer. */
-    void onClockAdvance(sim::Tick now);
+    void onClockAdvance(sim::Ticks now);
 
     /** Default bound on retained samples (all sources together). */
     static constexpr std::size_t kDefaultSampleCap = 65'536;
@@ -94,18 +94,20 @@ class UtilizationSampler
     {
         sim::NodeId node;
         std::string name;
-        std::function<sim::Tick()> busy;
-        sim::Tick lastBusy = 0;
+        std::function<sim::Ticks()> busy;
+        sim::Ticks lastBusy;
     };
 
     /** Merge retained rounds pairwise and double the emit stride. */
     void mergeSampleRounds();
 
+    // draid-lint: cap(one entry per registered resource lane)
     std::vector<Source> sources_;
+    // draid-lint: cap(sampleCap_; rounds merged pairwise on overflow)
     std::vector<Sample> samples_;
-    sim::Tick interval_ = 0;
-    sim::Tick nextSample_ = 0;
-    sim::Tick lastEmit_ = 0;
+    sim::Ticks interval_;
+    sim::Ticks nextSample_;
+    sim::Ticks lastEmit_;
     std::size_t sampleCap_ = kDefaultSampleCap;
     std::uint64_t emitStride_ = 1;
     std::uint64_t rounds_ = 0; ///< interval boundaries reached

@@ -50,10 +50,11 @@ num(double v, int precision = 3)
 
 } // namespace
 
-WindowedAggregator::WindowedAggregator(sim::Tick window_ticks)
-    : windowTicks_(window_ticks <= 0 ? kAutoBaseTicks
-                                     : std::max<sim::Tick>(window_ticks, 1)),
-      adaptive_(window_ticks <= 0)
+WindowedAggregator::WindowedAggregator(sim::Ticks window_ticks)
+    : windowTicks_(window_ticks.raw() <= 0
+                       ? kAutoBaseTicks
+                       : std::max<sim::Tick>(window_ticks.raw(), 1)),
+      adaptive_(window_ticks.raw() <= 0)
 {
 }
 
@@ -76,9 +77,11 @@ WindowedAggregator::decimateBin(Accum &bin, std::uint64_t &dropped)
 }
 
 void
-WindowedAggregator::addOp(sim::Tick end, sim::Tick latency,
+WindowedAggregator::addOp(sim::Ticks end_ticks, sim::Ticks latency_ticks,
                           std::uint64_t bytes)
 {
+    const sim::Tick end = end_ticks.raw();
+    const sim::Tick latency = latency_ticks.raw();
     if (adaptive_) {
         // Widen until this op's bin fits inside the kMaxBins budget
         // spanned from the earliest bin.
@@ -141,7 +144,8 @@ WindowedAggregator::addOpSpans(const std::vector<TraceSpan> &spans)
     for (const TraceSpan &span : spans) {
         if (std::strcmp(span.lane, "op") != 0)
             continue;
-        addOp(span.end, span.end - span.start, spanBytes(span));
+        addOp(sim::Ticks{span.end}, sim::Ticks{span.end - span.start},
+              spanBytes(span));
     }
 }
 
@@ -152,21 +156,22 @@ WindowedAggregator::finalize() const
         return {};
     const std::int64_t first = bins_.begin()->first;
     const std::int64_t last = bins_.rbegin()->first;
-    return finalize(first * windowTicks_, (last + 1) * windowTicks_);
+    return finalize(sim::Ticks{first * windowTicks_},
+                    sim::Ticks{(last + 1) * windowTicks_});
 }
 
 std::vector<TimelineWindow>
 WindowedAggregator::makeWindows(const std::map<std::int64_t, Accum> &bins,
-                                sim::Tick window_ticks, std::int64_t first,
+                                sim::Ticks window_ticks, std::int64_t first,
                                 std::int64_t last)
 {
     std::vector<TimelineWindow> out;
     out.reserve(static_cast<std::size_t>(last - first + 1));
-    const double windowSec =
-        static_cast<double>(window_ticks) / (sim::kMillisecond * 1000.0);
+    const double windowSec = static_cast<double>(window_ticks.raw()) /
+                             (sim::kMillisecond * 1000.0);
     for (std::int64_t idx = first; idx <= last; ++idx) {
         TimelineWindow w;
-        w.start = idx * window_ticks;
+        w.start = idx * window_ticks.raw();
         auto it = bins.find(idx);
         if (it != bins.end()) {
             std::vector<sim::Tick> lat = it->second.latencies;
@@ -185,15 +190,17 @@ WindowedAggregator::makeWindows(const std::map<std::int64_t, Accum> &bins,
 }
 
 std::vector<TimelineWindow>
-WindowedAggregator::finalize(sim::Tick from, sim::Tick to) const
+WindowedAggregator::finalize(sim::Ticks from_ticks, sim::Ticks to_ticks) const
 {
+    const sim::Tick from = from_ticks.raw();
+    const sim::Tick to = to_ticks.raw();
     std::int64_t first = from / windowTicks_;
     std::int64_t last = to <= from ? first : (to - 1) / windowTicks_;
     if (!bins_.empty()) {
         first = std::min(first, bins_.begin()->first);
         last = std::max(last, bins_.rbegin()->first);
     }
-    return makeWindows(bins_, windowTicks_, first, last);
+    return makeWindows(bins_, sim::Ticks{windowTicks_}, first, last);
 }
 
 WindowedAggregator::Coalesced
@@ -209,7 +216,8 @@ WindowedAggregator::coalesce(std::size_t max_windows) const
     const std::uint64_t factor =
         (span + max_windows - 1) / max_windows;
     if (factor <= 1) {
-        out.windows = makeWindows(bins_, windowTicks_, first, last);
+        out.windows =
+            makeWindows(bins_, sim::Ticks{windowTicks_}, first, last);
         return out;
     }
     // Merge each run of `factor` adjacent bins. Grouping by idx/factor
@@ -231,7 +239,7 @@ WindowedAggregator::coalesce(std::size_t max_windows) const
             decimateBin(dst, dropped);
     }
     out.windowTicks = windowTicks_ * f;
-    out.windows = makeWindows(merged, out.windowTicks,
+    out.windows = makeWindows(merged, sim::Ticks{out.windowTicks},
                               merged.begin()->first,
                               merged.rbegin()->first);
     return out;
@@ -249,15 +257,19 @@ WindowedAggregator::retainedBytes() const
 
 std::vector<UtilizationSeries>
 binUtilization(const std::vector<UtilizationSampler::Sample> &samples,
-               sim::Tick from, sim::Tick window_ticks,
+               sim::Ticks from_ticks, sim::Ticks window_ticks_in,
                std::size_t num_windows)
 {
+    const sim::Tick from = from_ticks.raw();
+    const sim::Tick window_ticks = window_ticks_in.raw();
     if (window_ticks <= 0 || num_windows == 0)
         return {};
 
     struct SeriesAccum
     {
+        // draid-lint: cap(window count of the coalesced timeline; kMaxBins)
         std::vector<double> sum;
+        // draid-lint: cap(parallel to sum; kMaxBins)
         std::vector<std::uint32_t> count;
     };
     // Keyed by (node, name); std::map keeps the output ordering stable.
@@ -361,8 +373,9 @@ TimelineReport
 buildTimeline(const std::vector<TraceSpan> &spans,
               const std::vector<EventJournal::Event> &events,
               const std::vector<UtilizationSampler::Sample> &samples,
-              sim::Tick window_ticks, sim::NodeId host_node)
+              sim::Ticks window_ticks_in, sim::NodeId host_node)
 {
+    sim::Tick window_ticks = window_ticks_in.raw();
     TimelineReport report;
 
     // The op completion range drives the window grid.
@@ -383,9 +396,9 @@ buildTimeline(const std::vector<TraceSpan> &spans,
                                            sim::kMicrosecond);
     }
 
-    WindowedAggregator agg(window_ticks);
+    WindowedAggregator agg(sim::Ticks{window_ticks});
     agg.addOpSpans(spans);
-    report.windowTicks = agg.windowTicks();
+    report.windowTicks = agg.windowTicks().raw();
     report.windows = agg.finalize();
     report.startTick = report.windows.empty() ? 0 : report.windows.front().start;
     const sim::Tick endTick = report.startTick
@@ -395,8 +408,9 @@ buildTimeline(const std::vector<TraceSpan> &spans,
         if (e.tick >= report.startTick && e.tick < endTick)
             report.events.push_back(e);
     }
-    report.utilization = binUtilization(samples, report.startTick,
-                                        report.windowTicks,
+    report.utilization = binUtilization(samples,
+                                        sim::Ticks{report.startTick},
+                                        sim::Ticks{report.windowTicks},
                                         report.windows.size());
     report.health =
         detectHealth(report.windows, report.utilization, host_node);
@@ -425,8 +439,9 @@ buildTimeline(const WindowedAggregator &agg,
         if (e.tick >= report.startTick && e.tick < endTick)
             report.events.push_back(e);
     }
-    report.utilization = binUtilization(samples, report.startTick,
-                                        report.windowTicks,
+    report.utilization = binUtilization(samples,
+                                        sim::Ticks{report.startTick},
+                                        sim::Ticks{report.windowTicks},
                                         report.windows.size());
     report.health =
         detectHealth(report.windows, report.utilization, host_node);

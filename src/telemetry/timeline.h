@@ -51,6 +51,7 @@ struct UtilizationSeries
 {
     sim::NodeId node = 0;
     std::string name; ///< e.g. "ssd.util"
+    // draid-lint: cap(kMaxBins windows after coalescing)
     std::vector<double> perWindow;
 };
 
@@ -58,6 +59,7 @@ struct UtilizationSeries
 struct HealthFlags
 {
     /** Windows with zero completions strictly between active windows. */
+    // draid-lint: cap(kMaxBins; subset of report windows)
     std::vector<std::size_t> stalledWindows;
 
     /** One server far busier than its peers on the same resource. */
@@ -69,6 +71,7 @@ struct HealthFlags
         double maxUtil = 0.0;
         double meanUtil = 0.0; ///< mean of the *other* nodes' series
     };
+    // draid-lint: cap(at most one per node pair flagged; kMaxBins windows)
     std::vector<Imbalance> imbalances;
 };
 
@@ -101,19 +104,20 @@ class WindowedAggregator : public OpCompletionSink
     /** Adaptive mode's starting bin width. */
     static constexpr sim::Tick kAutoBaseTicks = sim::kMicrosecond;
 
-    /** @param window_ticks bin width; 0 selects the adaptive mode */
-    explicit WindowedAggregator(sim::Tick window_ticks);
+    /** @param window_ticks bin width; zero selects the adaptive mode */
+    explicit WindowedAggregator(sim::Ticks window_ticks);
 
-    sim::Tick windowTicks() const { return windowTicks_; }
+    sim::Ticks windowTicks() const { return sim::Ticks{windowTicks_}; }
     std::uint64_t opsAdded() const { return opsAdded_; }
 
     /** Record one completed op. */
-    void addOp(sim::Tick end, sim::Tick latency, std::uint64_t bytes);
+    void addOp(sim::Ticks end, sim::Ticks latency, std::uint64_t bytes);
 
     /** OpCompletionSink: stream one completed root op in. */
     void onOpComplete(const TraceSpan &root, std::uint64_t bytes) override
     {
-        addOp(root.end, root.end - root.start, bytes);
+        addOp(sim::Ticks{root.end}, sim::Ticks{root.end - root.start},
+              bytes);
     }
 
     /**
@@ -132,13 +136,15 @@ class WindowedAggregator : public OpCompletionSink
     std::vector<TimelineWindow> finalize() const;
 
     /** As finalize(), but covering at least [from, to). */
-    std::vector<TimelineWindow> finalize(sim::Tick from, sim::Tick to) const;
+    std::vector<TimelineWindow> finalize(sim::Ticks from,
+                                         sim::Ticks to) const;
 
     /** finalize() re-binned so at most @p max_windows windows remain
      *  (adjacent bins merged by an integral factor). */
     struct Coalesced
     {
         sim::Tick windowTicks = 0;
+        // draid-lint: cap(kMaxBins; adaptive coalescing enforces it)
         std::vector<TimelineWindow> windows;
     };
     Coalesced coalesce(std::size_t max_windows) const;
@@ -154,6 +160,7 @@ class WindowedAggregator : public OpCompletionSink
     {
         std::uint64_t bytes = 0;
         std::uint64_t ops = 0; ///< exact, even when samples are decimated
+        // draid-lint: cap(kLatencySampleCap; decimated on overflow)
         std::vector<sim::Tick> latencies; ///< 1-in-stride retained subset
         std::uint64_t stride = 1;
         std::uint64_t seen = 0; ///< samples offered to this bin
@@ -167,13 +174,16 @@ class WindowedAggregator : public OpCompletionSink
      *  coalesce). */
     static std::vector<TimelineWindow>
     makeWindows(const std::map<std::int64_t, Accum> &bins,
-                sim::Tick window_ticks, std::int64_t first,
+                sim::Ticks window_ticks, std::int64_t first,
                 std::int64_t last);
 
+    // Raw Tick here is storage, not API: the tick-unit rule covers
+    // parameters and returns; retained state stays on the wire format.
     sim::Tick windowTicks_;
     bool adaptive_ = false;
     std::uint64_t opsAdded_ = 0;
     std::uint64_t droppedSamples_ = 0;
+    // draid-lint: cap(kMaxBins; adaptive coalescing merges on overflow)
     std::map<std::int64_t, Accum> bins_; ///< window index -> accum
 };
 
@@ -184,7 +194,7 @@ class WindowedAggregator : public OpCompletionSink
  */
 std::vector<UtilizationSeries>
 binUtilization(const std::vector<UtilizationSampler::Sample> &samples,
-               sim::Tick from, sim::Tick window_ticks,
+               sim::Ticks from, sim::Ticks window_ticks,
                std::size_t num_windows);
 
 /**
@@ -203,8 +213,11 @@ struct TimelineReport
 {
     sim::Tick windowTicks = 0;
     sim::Tick startTick = 0; ///< start of windows[0]
+    // draid-lint: cap(kMaxBins; adaptive coalescing enforces it)
     std::vector<TimelineWindow> windows;
+    // draid-lint: cap(journal capacity; ring-bounded source)
     std::vector<EventJournal::Event> events; ///< within the window range
+    // draid-lint: cap(one series per node lane; fixed topology)
     std::vector<UtilizationSeries> utilization;
     HealthFlags health;
 };
@@ -218,7 +231,8 @@ TimelineReport buildTimeline(const std::vector<TraceSpan> &spans,
                              const std::vector<EventJournal::Event> &events,
                              const std::vector<UtilizationSampler::Sample>
                                  &samples,
-                             sim::Tick window_ticks, sim::NodeId host_node);
+                             sim::Ticks window_ticks,
+                             sim::NodeId host_node);
 
 /**
  * As above, but from an incrementally-fed aggregator instead of a

@@ -50,6 +50,7 @@ struct TraceSpan
     /** Owning tenant (ContentionTracker id); 0 = untracked. */
     std::uint32_t tenant = 0;
     /** Small key/value payload shown in the trace viewer. */
+    // draid-lint: cap(a few key/value pairs per span; call sites add O(1))
     std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -244,16 +245,21 @@ class Tracer
     SelfCost counterCost_;
     OpCompletionSink *opSink_ = nullptr;
     ExemplarReservoir *exemplars_ = nullptr;
+    // draid-lint: cap(spanCap_; recording stops at the cap)
     std::vector<TraceSpan> spans_;
+    // draid-lint: cap(counterCap_; stride decimation past the cap)
     std::vector<CounterSample> counters_;
     /** Per-series arrival index driving the counter keep stride. */
     std::map<std::pair<sim::NodeId, std::string>, std::uint64_t>
+        // draid-lint: cap(one entry per (node, series); code-defined set)
         counterSeq_;
     /** In-flight sub-span chains keyed by trace id, kept only while an
      *  enabled reservoir is bound; bounded by kPendingOpCap (oldest —
      *  smallest id — evicted first). */
+    // draid-lint: cap(kPendingOpCap; oldest evicted)
     std::map<std::uint64_t, std::vector<TraceSpan>> pendingChains_;
     static constexpr std::size_t kPendingOpCap = 1024;
+    // draid-lint: cap(one name per registered node; fixed topology)
     std::map<sim::NodeId, std::string> nodeNames_;
 };
 

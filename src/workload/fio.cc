@@ -61,11 +61,11 @@ FioJob::result() const
     r.kiops = meter_.kiops();
     r.avgLatencyUs = latency_.mean() / sim::kMicrosecond;
     r.p50LatencyUs =
-        static_cast<double>(latency_.percentile(50)) / sim::kMicrosecond;
+        static_cast<double>(latency_.percentile(50).raw()) / sim::kMicrosecond;
     r.p99LatencyUs =
-        static_cast<double>(latency_.percentile(99)) / sim::kMicrosecond;
+        static_cast<double>(latency_.percentile(99).raw()) / sim::kMicrosecond;
     r.p999LatencyUs =
-        static_cast<double>(latency_.p999()) / sim::kMicrosecond;
+        static_cast<double>(latency_.p999().raw()) / sim::kMicrosecond;
     r.errors = errors_;
     return r;
 }
@@ -77,7 +77,7 @@ FioJob::issueNext()
         return;
     ++issued_;
     const std::uint64_t offset = pickOffset();
-    const sim::Tick t0 = sim_.now();
+    const sim::Ticks t0 = sim_.now();
     const std::uint32_t bytes = cfg_.ioSize;
 
     // Mark the issuing tenant so the op minted inside read()/write()
@@ -101,7 +101,7 @@ FioJob::issueNext()
 }
 
 void
-FioJob::onComplete(sim::Tick issued, std::uint32_t bytes, bool ok)
+FioJob::onComplete(sim::Ticks issued, std::uint32_t bytes, bool ok)
 {
     ++completed_;
     if (!ok)

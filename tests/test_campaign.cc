@@ -182,10 +182,10 @@ TEST(FaultSchedule, ClassCompositions)
 namespace {
 
 /** Read [0, 4096) synchronously; returns the elapsed ticks. */
-draid::sim::Tick
+draid::sim::Ticks
 timedRead(Simulator &sim, draid::nvme::Ssd &ssd, bool *ok_out = nullptr)
 {
-    const draid::sim::Tick start = sim.now();
+    const draid::sim::Ticks start = sim.now();
     testutil::readSync(sim, ssd, 0, 4096, ok_out);
     return sim.now() - start;
 }
@@ -199,14 +199,14 @@ TEST(SsdFaults, DegradeFactorInflatesLatency)
     cfg.capacity = 1 << 20;
     draid::nvme::Ssd ssd(sim, cfg);
 
-    const draid::sim::Tick nominal = timedRead(sim, ssd);
+    const draid::sim::Ticks nominal = timedRead(sim, ssd);
     ssd.setDegradeFactor(4.0);
-    const draid::sim::Tick gray = timedRead(sim, ssd);
+    const draid::sim::Ticks gray = timedRead(sim, ssd);
     ssd.setDegradeFactor(1.0);
-    const draid::sim::Tick restored = timedRead(sim, ssd);
+    const draid::sim::Ticks restored = timedRead(sim, ssd);
 
-    EXPECT_GT(gray, 3 * nominal);
-    EXPECT_EQ(restored, nominal);
+    EXPECT_GT(gray.raw(), 3 * nominal.raw());
+    EXPECT_EQ(restored.raw(), nominal.raw());
 }
 
 TEST(SsdFaults, LatentSectorErrorFailsReadsUntilRewritten)
@@ -223,9 +223,9 @@ TEST(SsdFaults, LatentSectorErrorFailsReadsUntilRewritten)
 
     // An intersecting read burns media time, then fails.
     bool ok = true;
-    const draid::sim::Tick elapsed = timedRead(sim, ssd, &ok);
+    const draid::sim::Ticks elapsed = timedRead(sim, ssd, &ok);
     EXPECT_FALSE(ok);
-    EXPECT_GT(elapsed, 0);
+    EXPECT_GT(elapsed.raw(), 0);
     EXPECT_EQ(ssd.latentErrorsHit(), 1u);
 
     // Discovery is journaled with the media range.
@@ -262,7 +262,7 @@ TEST(RebuildHook, OnStripeFailedReportsEachFailedStripe)
     draid::core::RebuildJob job(
         sim,
         [&sim](std::uint64_t stripe, std::function<void(bool)> done) {
-            sim.schedule(10, "test.stripe", [stripe, done]() {
+            sim.schedule(draid::sim::Ticks{10}, "test.stripe", [stripe, done]() {
                 done(stripe != 2 && stripe != 5);
             });
         },

@@ -72,7 +72,7 @@ TEST(Cluster, SimulatorSharedAcrossComponents)
 {
     TestbedConfig cfg;
     Cluster c(cfg, 2);
-    c.sim().schedule(100, []() {});
+    c.sim().schedule(draid::sim::Ticks{100}, []() {});
     c.sim().run();
-    EXPECT_EQ(c.sim().now(), 100);
+    EXPECT_EQ(c.sim().now().raw(), 100);
 }

@@ -364,17 +364,17 @@ TEST(CriticalPathDeterminism, AnalyzerAndRecorderDoNotPerturbTicks)
         ec::Buffer big(192 * 1024);
         big.fillPattern(6);
         EXPECT_TRUE(writeSync(rig.sim(), rig.host(), 8192, big));
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         ec::Buffer small(16 * 1024);
         small.fillPattern(7);
         EXPECT_TRUE(writeSync(rig.sim(), rig.host(), 0, small));
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         bool ok = false;
         readSync(rig.sim(), rig.host(), 4096, 64 * 1024, &ok);
         EXPECT_TRUE(ok);
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         if (instrumented) {
             // The analyzer is a pure function of recorded spans; running

@@ -37,7 +37,7 @@ TEST(DraidFailures, TransientTargetFailureRecoversViaRetry)
     // schedule its recovery before retries exhaust.
     const std::uint32_t victim = g.dataDevice(0, 0);
     rig.cluster->failTarget(victim);
-    rig.sim().schedule(60 * sim::kMillisecond,
+    rig.sim().schedule(sim::Ticks::ms(60),
                        [&]() { rig.cluster->recoverTarget(victim); });
 
     ec::Buffer data(8192);
@@ -111,7 +111,7 @@ TEST(DraidFailures, RetryFullStripeRestoresConsistencyAfterPartialWrite)
     // shortly after so the retry (full-stripe) succeeds.
     const std::uint32_t p_dev = g.parityDevice(0);
     rig.cluster->failTarget(p_dev);
-    rig.sim().schedule(55 * sim::kMillisecond,
+    rig.sim().schedule(sim::Ticks::ms(55),
                        [&]() { rig.cluster->recoverTarget(p_dev); });
 
     ec::Buffer data(16384);
@@ -134,7 +134,7 @@ TEST(DraidFailures, RetryFullStripeRestoresConsistencyAfterPartialWrite)
 TEST(DraidFailures, NetworkJitterDelaysButCompletes)
 {
     DraidRig rig(6, opts());
-    rig.cluster->fabric().setExtraDelay(3, 2 * sim::kMillisecond);
+    rig.cluster->fabric().setExtraDelay(3, sim::Ticks::ms(2));
 
     ec::Buffer data(8192);
     data.fillPattern(7);
@@ -177,7 +177,7 @@ TEST(DraidFailures, DeadlinesDisarmOnSuccess)
         ASSERT_TRUE(writeSync(rig.sim(), rig.host(), i * 4096, data));
     }
     // Let all timeout horizons pass: nothing should fire.
-    rig.sim().runFor(200 * sim::kMillisecond);
+    rig.sim().runFor(sim::Ticks::ms(200));
     EXPECT_EQ(rig.host().counters().retries, 0u);
     EXPECT_EQ(rig.host().counters().failovers, 0u);
 }

@@ -176,7 +176,7 @@ TEST(DraidProtocol, LateParityCommandIsToleratedAndReducesEagerly)
     cluster.fabric().send(net::Message{cluster.targetNodeId(1),
                                        cluster.targetNodeId(0), peer,
                                        partial});
-    cluster.sim().runFor(5 * sim::kMillisecond);
+    cluster.sim().runFor(sim::Ticks::ms(5));
 
     // The partial was reduced eagerly but nothing persisted yet.
     auto *session = parity_bdev.reduceEngine().find(op);
@@ -198,7 +198,7 @@ TEST(DraidProtocol, LateParityCommandIsToleratedAndReducesEagerly)
     par.waitNum = 1;
     cluster.fabric().send(net::Message{cluster.hostId(),
                                        cluster.targetNodeId(0), par, {}});
-    cluster.sim().runFor(5 * sim::kMillisecond);
+    cluster.sim().runFor(sim::Ticks::ms(5));
 
     EXPECT_GE(parity_bdev.counters().lateParityCmds, 1u);
     ASSERT_EQ(host.completions.size(), 1u);

@@ -155,7 +155,7 @@ TEST(RebuildJob, WindowBoundsInFlight)
         [&](std::uint64_t, std::function<void(bool)> done) {
             ++in_flight;
             max_in_flight = std::max(max_in_flight, in_flight);
-            sim.schedule(1000, [&in_flight, done = std::move(done)]() {
+            sim.schedule(draid::sim::Ticks{1000}, [&in_flight, done = std::move(done)]() {
                 --in_flight;
                 done(true);
             });
@@ -178,7 +178,7 @@ TEST(RebuildJob, ReportsFailures)
     RebuildJob job(
         sim,
         [&](std::uint64_t stripe, std::function<void(bool)> done) {
-            sim.schedule(10, [stripe, done = std::move(done)]() {
+            sim.schedule(draid::sim::Ticks{10}, [stripe, done = std::move(done)]() {
                 done(stripe % 3 != 0);
             });
         },

@@ -30,9 +30,9 @@ class Recorder : public Endpoint
 struct Rig
 {
     Simulator sim;
-    Fabric fabric{sim, 1500};
-    Nic nicA{sim, 1e9, 0};
-    Nic nicB{sim, 1e9, 0};
+    Fabric fabric{sim, Ticks{1500}};
+    Nic nicA{sim, 1e9, Ticks::zero()};
+    Nic nicB{sim, 1e9, Ticks::zero()};
     Recorder epA, epB;
 
     Rig()
@@ -66,7 +66,7 @@ TEST(Fabric, DeliveryIncludesPropagationDelay)
     {
       public:
         TimeEp(Simulator &s_, Tick &t_) : sim(s_), t(t_) {}
-        void onMessage(const Message &) override { t = sim.now(); }
+        void onMessage(const Message &) override { t = sim.now().raw(); }
         Simulator &sim;
         Tick &t;
     } ep(rig.sim, delivered);
@@ -103,8 +103,8 @@ TEST(Fabric, FullDuplexDirectionsIndependent)
     Rig rig;
     Tick t_read = -1, t_write = -1;
     // Simultaneous opposite transfers should not serialize.
-    rig.fabric.rdmaRead(0, 1, 1000000, [&]() { t_read = rig.sim.now(); });
-    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t_write = rig.sim.now(); });
+    rig.fabric.rdmaRead(0, 1, 1000000, [&]() { t_read = rig.sim.now().raw(); });
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t_write = rig.sim.now().raw(); });
     rig.sim.run();
     EXPECT_EQ(t_read, 1000000 + 1500);
     EXPECT_EQ(t_write, 1000000 + 1500);
@@ -114,8 +114,8 @@ TEST(Fabric, SameDirectionTransfersSerialize)
 {
     Rig rig;
     Tick t1 = -1, t2 = -1;
-    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t1 = rig.sim.now(); });
-    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t2 = rig.sim.now(); });
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t1 = rig.sim.now().raw(); });
+    rig.fabric.rdmaWrite(0, 1, 1000000, [&]() { t2 = rig.sim.now().raw(); });
     rig.sim.run();
     EXPECT_EQ(t1, 1000000 + 1500);
     EXPECT_EQ(t2, 2000000 + 1500);
@@ -147,12 +147,12 @@ TEST(Fabric, ExtraDelayInjected)
     {
       public:
         TimeEp(Simulator &s_, Tick &t_) : sim(s_), t(t_) {}
-        void onMessage(const Message &) override { t = sim.now(); }
+        void onMessage(const Message &) override { t = sim.now().raw(); }
         Simulator &sim;
         Tick &t;
     } ep(rig.sim, t);
     rig.fabric.setEndpoint(1, &ep);
-    rig.fabric.setExtraDelay(1, 10000);
+    rig.fabric.setExtraDelay(1, Ticks{10000});
     rig.fabric.send(Message{0, 1, proto::Capsule{}, {}});
     rig.sim.run();
     EXPECT_EQ(t, 64 + 1500 + 10000);

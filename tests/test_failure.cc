@@ -12,6 +12,7 @@
 using draid::core::DeadlineTable;
 using draid::core::FailureTracker;
 using draid::sim::Simulator;
+using draid::sim::Ticks;
 using draid::telemetry::EventJournal;
 using draid::telemetry::EventType;
 
@@ -20,8 +21,8 @@ TEST(DeadlineTable, FiresAfterDelay)
     Simulator sim;
     DeadlineTable t(sim);
     bool fired = false;
-    t.arm(1, 1000, [&]() { fired = true; });
-    sim.runUntil(999);
+    t.arm(1, Ticks{1000}, [&]() { fired = true; });
+    sim.runUntil(Ticks{999});
     EXPECT_FALSE(fired);
     sim.run();
     EXPECT_TRUE(fired);
@@ -34,7 +35,7 @@ TEST(DeadlineTable, DisarmPreventsFiring)
     Simulator sim;
     DeadlineTable t(sim);
     bool fired = false;
-    t.arm(1, 1000, [&]() { fired = true; });
+    t.arm(1, Ticks{1000}, [&]() { fired = true; });
     t.disarm(1);
     sim.run();
     EXPECT_FALSE(fired);
@@ -46,8 +47,8 @@ TEST(DeadlineTable, ReArmSupersedes)
     Simulator sim;
     DeadlineTable t(sim);
     int fired = 0;
-    t.arm(1, 1000, [&]() { fired = 1; });
-    t.arm(1, 5000, [&]() { fired = 2; });
+    t.arm(1, Ticks{1000}, [&]() { fired = 1; });
+    t.arm(1, Ticks{5000}, [&]() { fired = 2; });
     sim.run();
     EXPECT_EQ(fired, 2);
     EXPECT_EQ(t.expiredCount(), 1u);
@@ -58,8 +59,8 @@ TEST(DeadlineTable, IndependentIds)
     Simulator sim;
     DeadlineTable t(sim);
     bool a = false, b = false;
-    t.arm(1, 100, [&]() { a = true; });
-    t.arm(2, 200, [&]() { b = true; });
+    t.arm(1, Ticks{100}, [&]() { a = true; });
+    t.arm(2, Ticks{200}, [&]() { b = true; });
     t.disarm(1);
     sim.run();
     EXPECT_FALSE(a);
@@ -70,7 +71,7 @@ TEST(DeadlineTable, DisarmAfterFiringIsNoOp)
 {
     Simulator sim;
     DeadlineTable t(sim);
-    t.arm(1, 10, []() {});
+    t.arm(1, Ticks{10}, []() {});
     sim.run();
     t.disarm(1); // must not crash or corrupt
     EXPECT_FALSE(t.isArmed(1));
@@ -81,9 +82,9 @@ TEST(DeadlineTable, IdReusableAfterExpiry)
     Simulator sim;
     DeadlineTable t(sim);
     int fired = 0;
-    t.arm(1, 10, [&]() { ++fired; });
+    t.arm(1, Ticks{10}, [&]() { ++fired; });
     sim.run();
-    t.arm(1, 10, [&]() { ++fired; });
+    t.arm(1, Ticks{10}, [&]() { ++fired; });
     sim.run();
     EXPECT_EQ(fired, 2);
 }
@@ -97,9 +98,9 @@ TEST(FailureTracker, SameTickDualFailurePromotesToDataLoss)
     FailureTracker t(4, 1);
     t.bindJournal(&journal, 0);
 
-    EXPECT_TRUE(t.recordFailure(0, 500));
+    EXPECT_TRUE(t.recordFailure(0, Ticks{500}));
     EXPECT_FALSE(t.dataLoss());
-    EXPECT_TRUE(t.recordFailure(2, 500));
+    EXPECT_TRUE(t.recordFailure(2, Ticks{500}));
     EXPECT_TRUE(t.dataLoss());
     EXPECT_EQ(t.activeFailures(), 2u);
 
@@ -128,10 +129,10 @@ TEST(FailureTracker, FailureDuringRebuildPromotesToDataLoss)
     FailureTracker t(4, 1);
     t.bindJournal(&journal, 0);
 
-    EXPECT_TRUE(t.recordFailure(1, 1000));
+    EXPECT_TRUE(t.recordFailure(1, Ticks{1000}));
     // The rebuild orchestrator (not the tracker) journals the start.
     journal.record(EventType::kRebuildStarted, 0, 1200, 24, 65536);
-    EXPECT_TRUE(t.recordFailure(3, 1500));
+    EXPECT_TRUE(t.recordFailure(3, Ticks{1500}));
     EXPECT_TRUE(t.dataLoss());
 
     const std::vector<EventJournal::Event> ev = journal.snapshot();
@@ -150,10 +151,10 @@ TEST(FailureTracker, FailureDuringRebuildPromotesToDataLoss)
 TEST(FailureTracker, RedundancyTwoSurvivesDualFailure)
 {
     FailureTracker t(6, 2);
-    EXPECT_TRUE(t.recordFailure(0, 10));
-    EXPECT_TRUE(t.recordFailure(1, 20));
+    EXPECT_TRUE(t.recordFailure(0, Ticks{10}));
+    EXPECT_TRUE(t.recordFailure(1, Ticks{20}));
     EXPECT_FALSE(t.dataLoss());
-    EXPECT_TRUE(t.recordFailure(2, 30));
+    EXPECT_TRUE(t.recordFailure(2, Ticks{30}));
     EXPECT_TRUE(t.dataLoss());
 }
 
@@ -162,8 +163,8 @@ TEST(FailureTracker, DuplicateFailureIsNoOp)
     EventJournal journal;
     FailureTracker t(4, 1);
     t.bindJournal(&journal, 0);
-    EXPECT_TRUE(t.recordFailure(0, 100));
-    EXPECT_FALSE(t.recordFailure(0, 200));
+    EXPECT_TRUE(t.recordFailure(0, Ticks{100}));
+    EXPECT_FALSE(t.recordFailure(0, Ticks{200}));
     EXPECT_EQ(t.activeFailures(), 1u);
     EXPECT_FALSE(t.dataLoss());
     EXPECT_EQ(journal.snapshot().size(), 1u);
@@ -172,15 +173,15 @@ TEST(FailureTracker, DuplicateFailureIsNoOp)
 TEST(FailureTracker, RebuiltClosesExposureWindow)
 {
     FailureTracker t(4, 1);
-    EXPECT_TRUE(t.recordFailure(2, 1000));
-    EXPECT_EQ(t.openExposure(4000), 3000);
-    t.recordRebuilt(2, 5000);
+    EXPECT_TRUE(t.recordFailure(2, Ticks{1000}));
+    EXPECT_EQ(t.openExposure(Ticks{4000}).raw(), 3000);
+    t.recordRebuilt(2, Ticks{5000});
     ASSERT_EQ(t.exposureWindows().size(), 1u);
     EXPECT_EQ(t.exposureWindows()[0], 4000);
     EXPECT_EQ(t.activeFailures(), 0u);
-    EXPECT_EQ(t.openExposure(9000), 0);
+    EXPECT_EQ(t.openExposure(Ticks{9000}).raw(), 0);
     // The device is eligible to fail again after the rebuild.
-    EXPECT_TRUE(t.recordFailure(2, 6000));
+    EXPECT_TRUE(t.recordFailure(2, Ticks{6000}));
     EXPECT_FALSE(t.dataLoss());
 }
 
@@ -189,9 +190,9 @@ TEST(FailureTracker, StripeLossJournalsOncePerStripe)
     EventJournal journal;
     FailureTracker t(4, 1);
     t.bindJournal(&journal, 0);
-    t.recordStripeLoss(7, 100);
-    t.recordStripeLoss(7, 110); // retry of the same stripe: dedup
-    t.recordStripeLoss(9, 120);
+    t.recordStripeLoss(7, Ticks{100});
+    t.recordStripeLoss(7, Ticks{110}); // retry of the same stripe: dedup
+    t.recordStripeLoss(9, Ticks{120});
     EXPECT_TRUE(t.dataLoss());
     EXPECT_EQ(t.lostStripes(), 2u);
 
@@ -206,8 +207,8 @@ TEST(FailureTracker, StripeLossJournalsOncePerStripe)
 TEST(FailureTracker, FailedDevicesSortedAscending)
 {
     FailureTracker t(6, 2);
-    EXPECT_TRUE(t.recordFailure(4, 10));
-    EXPECT_TRUE(t.recordFailure(1, 20));
+    EXPECT_TRUE(t.recordFailure(4, Ticks{10}));
+    EXPECT_TRUE(t.recordFailure(1, Ticks{20}));
     const std::vector<std::uint32_t> failed = t.failedDevices();
     ASSERT_EQ(failed.size(), 2u);
     EXPECT_EQ(failed[0], 1u);

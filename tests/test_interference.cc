@@ -15,6 +15,7 @@
 #include "sim/pipe.h"
 #include "sim/rng.h"
 #include "telemetry/interference.h"
+#include "telemetry/lane_tap.h"
 #include "telemetry/telemetry.h"
 #include "workload/fio.h"
 
@@ -283,9 +284,11 @@ TEST(Interference, PropertySumsToWaitOnRandomizedPipeLoad)
         tenants.push_back(ct.registerTenant(name));
     }
 
-    sim::Pipe pipe(sim, /*bytes_per_sec=*/1e9, /*latency=*/500,
-                   /*per_op=*/100);
-    pipe.bindContention(&ct, res);
+    sim::Pipe pipe(sim, /*bytes_per_sec=*/1e9, /*latency=*/sim::Ticks{500},
+                   /*per_op=*/sim::Ticks{100});
+    telemetry::LaneTap tap(telemetry::LaneTap::Style::kPipe);
+    tap.bindContention(&ct, res);
+    pipe.setObserver(&tap);
 
     std::uint64_t nextTrace = 1;
     int completed = 0;
@@ -297,7 +300,7 @@ TEST(Interference, PropertySumsToWaitOnRandomizedPipeLoad)
         const std::uint64_t bytes = 512 + rng.nextBounded(64 * 1024);
         const sim::Tick at =
             static_cast<sim::Tick>(rng.nextBounded(20'000));
-        sim.scheduleAt(at, [&pipe, &completed, trace, bytes] {
+        sim.scheduleAt(sim::Ticks{at}, [&pipe, &completed, trace, bytes] {
             pipe.transfer(bytes, trace, [&completed] { ++completed; });
         });
     }

@@ -245,6 +245,166 @@ TEST(DraidLint, SuppressionBudgetEnforced)
         << r.output;
 }
 
+// ---- v2 semantic rules -------------------------------------------------
+
+TEST(DraidLint, LayeringFiresOnInvertedIncludeEdge)
+{
+    const LintRun r = lintFixture("src/raid/layering_bad.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/raid/layering_bad.cc:3: layering:"),
+              std::string::npos)
+        << r.output;
+    // The message names the offending edge and the allowed set.
+    EXPECT_NE(r.output.find("src/raid/layering_bad.cc -> "
+                            "core/draid_host.h"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("allowed: sim, telemetry"), std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, TickUnitFiresOnRawTickParamAndReturn)
+{
+    const LintRun r = lintFixture("src/sim/simulator.h");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/sim/simulator.h:10: tick-unit:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("return type in 'now'"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/sim/simulator.h:11: tick-unit:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("parameter in 'scheduleAt'"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, BoundedMemoryFiresOnUncappedMember)
+{
+    const LintRun r = lintFixture("src/core/unbounded_member.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(
+        r.output.find("src/core/unbounded_member.cc:8: bounded-memory:"),
+        std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'pending_' (std::vector in RebuildQueue)"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, BoundedMemoryAcceptsCapAnnotation)
+{
+    const LintRun r = lintFixture("src/core/capped_member.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    // A cap() is a contract, not a suppression: it must not count
+    // against the allow() budget.
+    EXPECT_NE(r.output.find("0 violation(s), 0 suppression(s)"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, EmptyCapIsMalformedAndMemberStillReports)
+{
+    const LintRun r = lintFixture("src/core/bad_cap.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("src/core/bad_cap.cc:7: bad-suppression:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/core/bad_cap.cc:8: bounded-memory:"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, CallbackDisciplineFiresOnDrainFanoutAndAlloc)
+{
+    const LintRun r = lintFixture("src/core/callback_bad.cc");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(
+        r.output.find("src/core/callback_bad.cc:14: callback-discipline:"),
+        std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("synchronous drain"), std::string::npos)
+        << r.output;
+    EXPECT_NE(
+        r.output.find("src/core/callback_bad.cc:16: callback-discipline:"),
+        std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("fans out unbounded events"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(
+        r.output.find("src/core/callback_bad.cc:18: callback-discipline:"),
+        std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("allocation ('new')"), std::string::npos)
+        << r.output;
+}
+
+// ---- output formats & exit codes ---------------------------------------
+
+TEST(DraidLint, JsonFormatCarriesViolationsAndCounts)
+{
+    const LintRun r =
+        lintFixture("src/core/unbounded_member.cc", "--format=json");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("\"files\":1"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"rule\":\"bounded-memory\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"file\":\"src/core/unbounded_member.cc\","
+                            "\"line\":8"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, GithubFormatEmitsWorkflowAnnotations)
+{
+    const LintRun r =
+        lintFixture("src/raid/layering_bad.cc", "--format=github");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("::error file=src/raid/layering_bad.cc,"
+                            "line=3,title=draid-lint layering::"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(DraidLint, ListRulesPrintsEveryRuleAndExitsZero)
+{
+    const LintRun r = runLint("--list-rules");
+    EXPECT_EQ(r.exitCode, 0);
+    for (const char *rule :
+         {"wall-clock", "layering", "tick-unit", "bounded-memory",
+          "callback-discipline", "bad-suppression"})
+        EXPECT_NE(r.output.find(rule), std::string::npos)
+            << "rule " << rule << " missing from --list-rules:\n"
+            << r.output;
+}
+
+TEST(DraidLint, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runLint("--format=yaml").exitCode, 2);
+    EXPECT_EQ(runLint("--only=no-such-rule").exitCode, 2);
+    EXPECT_EQ(runLint("--repo=" + std::string(DRAID_LINT_FIXTURES) +
+                      " src/does_not_exist.cc")
+                  .exitCode,
+              2);
+}
+
+TEST(DraidLint, OnlyFilterRestrictsToOneRule)
+{
+    // bad_cap.cc violates both bad-suppression and bounded-memory;
+    // --only keeps exactly one of them.
+    const LintRun r =
+        lintFixture("src/core/bad_cap.cc", "--only=bounded-memory");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("bounded-memory:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("bad-suppression:"), std::string::npos)
+        << r.output;
+}
+
 TEST(DraidLint, WholeFixtureTreeFiresEveryRule)
 {
     const LintRun r = runLint("--repo=" +
@@ -252,7 +412,9 @@ TEST(DraidLint, WholeFixtureTreeFiresEveryRule)
     EXPECT_EQ(r.exitCode, 1);
     for (const char *rule :
          {"wall-clock", "raw-rng", "unordered-iter", "ptr-key",
-          "include-first", "ns-header", "fp-accum", "bad-suppression"})
+          "include-first", "ns-header", "fp-accum", "bad-suppression",
+          "layering", "tick-unit", "bounded-memory",
+          "callback-discipline"})
         EXPECT_NE(r.output.find(std::string(": ") + rule + ":"),
                   std::string::npos)
             << "rule " << rule << " never fired:\n"
@@ -263,8 +425,22 @@ TEST(DraidLint, WholeFixtureTreeFiresEveryRule)
 TEST(DraidLint, RepoIsCleanWithinSuppressionBudget)
 {
     const LintRun r = runLint("--repo=" + std::string(DRAID_REPO_ROOT) +
-                              " --max-suppressions=10");
+                              " --max-suppressions=12");
     EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+/** Per-rule gates: each v2 semantic rule holds repo-wide on its own. */
+TEST(DraidLint, RepoIsCleanUnderEachSemanticRule)
+{
+    for (const char *rule : {"layering", "tick-unit", "bounded-memory",
+                             "callback-discipline"}) {
+        const LintRun r =
+            runLint("--repo=" + std::string(DRAID_REPO_ROOT) +
+                    " --only=" + rule);
+        EXPECT_EQ(r.exitCode, 0)
+            << "rule " << rule << " fires on the repo:\n"
+            << r.output;
+    }
 }
 
 } // namespace

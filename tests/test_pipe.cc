@@ -13,7 +13,7 @@ TEST(Pipe, SingleTransferTakesBytesOverRate)
     Simulator sim;
     Pipe pipe(sim, 1e9); // 1 GB/s
     Tick done = -1;
-    pipe.transfer(1000, [&]() { done = sim.now(); });
+    pipe.transfer(1000, [&]() { done = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(done, 1000); // 1000 B at 1 B/ns
 }
@@ -21,10 +21,10 @@ TEST(Pipe, SingleTransferTakesBytesOverRate)
 TEST(Pipe, LatencyAddsToCompletionNotOccupancy)
 {
     Simulator sim;
-    Pipe pipe(sim, 1e9, /*latency=*/500);
+    Pipe pipe(sim, 1e9, /*latency=*/Ticks{500});
     Tick first = -1, second = -1;
-    pipe.transfer(1000, [&]() { first = sim.now(); });
-    pipe.transfer(1000, [&]() { second = sim.now(); });
+    pipe.transfer(1000, [&]() { first = sim.now().raw(); });
+    pipe.transfer(1000, [&]() { second = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(first, 1500);  // 1000 service + 500 latency
     EXPECT_EQ(second, 2500); // starts at 1000, ends 2000, +500
@@ -35,8 +35,8 @@ TEST(Pipe, BackToBackTransfersSerialize)
     Simulator sim;
     Pipe pipe(sim, 1e9);
     Tick t1 = -1, t2 = -1;
-    pipe.transfer(1000, [&]() { t1 = sim.now(); });
-    pipe.transfer(2000, [&]() { t2 = sim.now(); });
+    pipe.transfer(1000, [&]() { t1 = sim.now().raw(); });
+    pipe.transfer(2000, [&]() { t2 = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(t1, 1000);
     EXPECT_EQ(t2, 3000);
@@ -45,9 +45,9 @@ TEST(Pipe, BackToBackTransfersSerialize)
 TEST(Pipe, PerOpOverheadCharged)
 {
     Simulator sim;
-    Pipe pipe(sim, 1e9, 0, /*per_op=*/100);
+    Pipe pipe(sim, 1e9, Ticks::zero(), /*per_op=*/Ticks{100});
     Tick t = -1;
-    pipe.transfer(1000, [&]() { t = sim.now(); });
+    pipe.transfer(1000, [&]() { t = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(t, 1100);
 }
@@ -82,8 +82,8 @@ TEST(Pipe, UtilizationReflectsBusyFraction)
     Simulator sim;
     Pipe pipe(sim, 1e9);
     pipe.transfer(1000, []() {});
-    sim.runUntil(2000); // busy for 1000 of 2000 ticks
-    EXPECT_NEAR(pipe.utilization(0), 0.5, 1e-9);
+    sim.runUntil(Ticks{2000}); // busy for 1000 of 2000 ticks
+    EXPECT_NEAR(pipe.utilization(Ticks::zero()), 0.5, 1e-9);
 }
 
 TEST(Pipe, SetRateAffectsFutureTransfers)
@@ -91,10 +91,10 @@ TEST(Pipe, SetRateAffectsFutureTransfers)
     Simulator sim;
     Pipe pipe(sim, 1e9);
     Tick t1 = -1, t2 = -1;
-    pipe.transfer(1000, [&]() { t1 = sim.now(); });
+    pipe.transfer(1000, [&]() { t1 = sim.now().raw(); });
     sim.run();
     pipe.setRate(2e9);
-    pipe.transfer(1000, [&]() { t2 = sim.now(); });
+    pipe.transfer(1000, [&]() { t2 = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(t1, 1000);
     EXPECT_EQ(t2, 1500);
@@ -105,8 +105,8 @@ TEST(CpuCore, SerializesWork)
     Simulator sim;
     CpuCore cpu(sim);
     Tick t1 = -1, t2 = -1;
-    cpu.execute(100, [&]() { t1 = sim.now(); });
-    cpu.execute(100, [&]() { t2 = sim.now(); });
+    cpu.execute(Ticks{100}, [&]() { t1 = sim.now().raw(); });
+    cpu.execute(Ticks{100}, [&]() { t2 = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(t1, 100);
     EXPECT_EQ(t2, 200);
@@ -117,7 +117,7 @@ TEST(CpuCore, ExecuteBytesChargesAtRate)
     Simulator sim;
     CpuCore cpu(sim);
     Tick t = -1;
-    cpu.executeBytes(1000, 1e9, 50, [&]() { t = sim.now(); });
+    cpu.executeBytes(1000, 1e9, Ticks{50}, [&]() { t = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(t, 1050);
 }
@@ -126,8 +126,8 @@ TEST(CpuCore, TracksBusyTime)
 {
     Simulator sim;
     CpuCore cpu(sim);
-    cpu.execute(300, []() {});
-    sim.runUntil(1000);
-    EXPECT_EQ(cpu.busyTime(), 300);
-    EXPECT_NEAR(cpu.utilization(0), 0.3, 1e-9);
+    cpu.execute(Ticks{300}, []() {});
+    sim.runUntil(Ticks{1000});
+    EXPECT_EQ(cpu.busyTime().raw(), 300);
+    EXPECT_NEAR(cpu.utilization(Ticks::zero()), 0.3, 1e-9);
 }

@@ -92,58 +92,58 @@ TEST(LatencyRecorder, BasicStats)
 {
     LatencyRecorder rec;
     for (Tick t : {10, 20, 30, 40, 50})
-        rec.record(t);
+        rec.record(Ticks{t});
     EXPECT_EQ(rec.count(), 5u);
-    EXPECT_EQ(rec.min(), 10);
-    EXPECT_EQ(rec.max(), 50);
+    EXPECT_EQ(rec.min().raw(), 10);
+    EXPECT_EQ(rec.max().raw(), 50);
     EXPECT_DOUBLE_EQ(rec.mean(), 30.0);
-    EXPECT_EQ(rec.percentile(50), 30);
-    EXPECT_EQ(rec.percentile(100), 50);
+    EXPECT_EQ(rec.percentile(50).raw(), 30);
+    EXPECT_EQ(rec.percentile(100).raw(), 50);
 }
 
 TEST(LatencyRecorder, EmptyIsZero)
 {
     LatencyRecorder rec;
     EXPECT_EQ(rec.count(), 0u);
-    EXPECT_EQ(rec.min(), 0);
-    EXPECT_EQ(rec.max(), 0);
+    EXPECT_EQ(rec.min().raw(), 0);
+    EXPECT_EQ(rec.max().raw(), 0);
     EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
-    EXPECT_EQ(rec.percentile(99), 0);
+    EXPECT_EQ(rec.percentile(99).raw(), 0);
 }
 
 TEST(LatencyRecorder, PercentileNearestRank)
 {
     LatencyRecorder rec;
     for (Tick t = 1; t <= 100; ++t)
-        rec.record(t);
-    EXPECT_EQ(rec.percentile(99), 99);
-    EXPECT_EQ(rec.percentile(1), 1);
+        rec.record(Ticks{t});
+    EXPECT_EQ(rec.percentile(99).raw(), 99);
+    EXPECT_EQ(rec.percentile(1).raw(), 1);
 }
 
 TEST(LatencyRecorder, PercentileExtremesAreExactMinMax)
 {
     LatencyRecorder rec;
     for (Tick t : {17, 3, 99, 42})
-        rec.record(t);
+        rec.record(Ticks{t});
     // Nearest-rank rounding must not shift the endpoints.
-    EXPECT_EQ(rec.percentile(0), 3);
-    EXPECT_EQ(rec.percentile(100), 99);
+    EXPECT_EQ(rec.percentile(0).raw(), 3);
+    EXPECT_EQ(rec.percentile(100).raw(), 99);
 }
 
 TEST(LatencyRecorder, P999TailPercentile)
 {
     LatencyRecorder rec;
     for (Tick t = 1; t <= 1000; ++t)
-        rec.record(t);
+        rec.record(Ticks{t});
     // Nearest rank: ceil(0.999 * 1000) = 999 -> the 999th sample.
-    EXPECT_EQ(rec.p999(), 999);
+    EXPECT_EQ(rec.p999().raw(), 999);
     EXPECT_EQ(rec.p999(), rec.percentile(99.9));
     // With few samples the tail collapses onto the max.
     LatencyRecorder small;
     for (Tick t : {10, 20, 30})
-        small.record(t);
-    EXPECT_EQ(small.p999(), 30);
-    EXPECT_EQ(LatencyRecorder{}.p999(), 0);
+        small.record(Ticks{t});
+    EXPECT_EQ(small.p999().raw(), 30);
+    EXPECT_EQ(LatencyRecorder{}.p999().raw(), 0);
 }
 
 TEST(LatencyRecorder, StddevOfKnownDistribution)
@@ -151,7 +151,7 @@ TEST(LatencyRecorder, StddevOfKnownDistribution)
     LatencyRecorder rec;
     // The classic population example: mean 5, stddev exactly 2.
     for (Tick t : {2, 4, 4, 4, 5, 5, 7, 9})
-        rec.record(t);
+        rec.record(Ticks{t});
     EXPECT_DOUBLE_EQ(rec.mean(), 5.0);
     EXPECT_DOUBLE_EQ(rec.stddev(), 2.0);
 }
@@ -160,19 +160,19 @@ TEST(LatencyRecorder, StddevDegenerateCases)
 {
     LatencyRecorder rec;
     EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // empty
-    rec.record(42);
+    rec.record(Ticks{42});
     EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // single sample
-    rec.record(42);
+    rec.record(Ticks{42});
     EXPECT_DOUBLE_EQ(rec.stddev(), 0.0); // identical samples
 }
 
 TEST(ThroughputMeter, ComputesBandwidthAndIops)
 {
     ThroughputMeter m;
-    m.start(0);
+    m.start(Ticks::zero());
     for (int i = 0; i < 1000; ++i)
         m.complete(128 * 1024);
-    m.finish(kSecond); // 1 simulated second
+    m.finish(Ticks::sec(1)); // 1 simulated second
     EXPECT_NEAR(m.bandwidthMBps(), 1000.0 * 128 * 1024 / 1e6, 0.1);
     EXPECT_NEAR(m.kiops(), 1.0, 1e-9);
 }
@@ -180,9 +180,9 @@ TEST(ThroughputMeter, ComputesBandwidthAndIops)
 TEST(ThroughputMeter, ZeroWindowReportsZero)
 {
     ThroughputMeter m;
-    m.start(100);
+    m.start(Ticks{100});
     m.complete(4096);
-    m.finish(100);
+    m.finish(Ticks{100});
     EXPECT_DOUBLE_EQ(m.bandwidthMBps(), 0.0);
     EXPECT_DOUBLE_EQ(m.kiops(), 0.0);
 }

@@ -222,9 +222,9 @@ TEST(WindowedAggregator, StreamingMatchesBatchSpanFeed)
         spans.push_back(std::move(s));
     }
 
-    telemetry::WindowedAggregator batch(1000);
+    telemetry::WindowedAggregator batch(sim::Ticks{1000});
     batch.addOpSpans(spans);
-    telemetry::WindowedAggregator streamed(1000);
+    telemetry::WindowedAggregator streamed(sim::Ticks{1000});
     for (const telemetry::TraceSpan &s : spans)
         streamed.onOpComplete(s, 4096);
 
@@ -246,7 +246,7 @@ TEST(WindowedAggregator, DecimationKeepsTotalsExactAndTailsClose)
     // kLatencySampleCap and decimate, but ops/bytes stay exact and the
     // percentile drift stays under 5% of ground truth.
     const std::uint64_t n = 50'000;
-    telemetry::WindowedAggregator agg(1'000'000);
+    telemetry::WindowedAggregator agg(sim::Ticks{1'000'000});
     std::vector<sim::Tick> all;
     for (std::uint64_t i = 0; i < n; ++i) {
         // Hash-scrambled arrival order, smooth latency spread in
@@ -256,7 +256,8 @@ TEST(WindowedAggregator, DecimationKeepsTotalsExactAndTailsClose)
         const sim::Tick lat = 1000 + static_cast<sim::Tick>(h % 1000);
         all.push_back(lat);
         // Every completion lands in the same window.
-        agg.addOp(static_cast<sim::Tick>((i * 17) % 999'000), lat, 4096);
+        agg.addOp(sim::Ticks{static_cast<sim::Tick>((i * 17) % 999'000)},
+                  sim::Ticks{lat}, 4096);
     }
     EXPECT_GT(agg.droppedLatencySamples(), 0u);
 
@@ -281,27 +282,28 @@ TEST(WindowedAggregator, RetainedBytesBoundedInOpCount)
     // Same tick range, 4x the ops: retained bytes must not scale with op
     // count (bins are capped; totals are scalars).
     const sim::Tick range = 10'000'000;
-    telemetry::WindowedAggregator a(1'000'000);
-    telemetry::WindowedAggregator b(1'000'000);
+    telemetry::WindowedAggregator a(sim::Ticks{1'000'000});
+    telemetry::WindowedAggregator b(sim::Ticks{1'000'000});
     for (std::uint64_t i = 0; i < 50'000; ++i)
-        a.addOp(static_cast<sim::Tick>(i) * (range / 50'000),
-                1000 + static_cast<sim::Tick>(i % 500), 4096);
+        a.addOp(sim::Ticks{static_cast<sim::Tick>(i) * (range / 50'000)},
+                sim::Ticks{1000 + static_cast<sim::Tick>(i % 500)}, 4096);
     for (std::uint64_t i = 0; i < 200'000; ++i)
-        b.addOp(static_cast<sim::Tick>(i) * (range / 200'000),
-                1000 + static_cast<sim::Tick>(i % 500), 4096);
+        b.addOp(sim::Ticks{static_cast<sim::Tick>(i) * (range / 200'000)},
+                sim::Ticks{1000 + static_cast<sim::Tick>(i % 500)}, 4096);
     EXPECT_GT(a.retainedBytes(), 0u);
     EXPECT_LE(b.retainedBytes(), a.retainedBytes() * 3 / 2);
 }
 
 TEST(WindowedAggregator, AdaptiveWidthBoundsBinsAndCoalesces)
 {
-    telemetry::WindowedAggregator agg(0); // adaptive: starts at 1 us
-    EXPECT_EQ(agg.windowTicks(), sim::kMicrosecond);
+    telemetry::WindowedAggregator agg(sim::Ticks::zero()); // adaptive
+    EXPECT_EQ(agg.windowTicks().raw(), sim::kMicrosecond);
     // 80 ms of completions at 1 us base width would be 80k bins; the
     // width must double until the span fits the bin budget.
     for (std::uint64_t i = 0; i < 20'000; ++i)
-        agg.addOp(static_cast<sim::Tick>(i) * 4000, 500, 512);
-    EXPECT_GT(agg.windowTicks(), sim::kMicrosecond);
+        agg.addOp(sim::Ticks{static_cast<sim::Tick>(i) * 4000},
+                  sim::Ticks{500}, 512);
+    EXPECT_GT(agg.windowTicks().raw(), sim::kMicrosecond);
     const auto windows = agg.finalize();
     EXPECT_LE(windows.size(), telemetry::WindowedAggregator::kMaxBins);
     std::uint64_t ops = 0;
@@ -311,7 +313,7 @@ TEST(WindowedAggregator, AdaptiveWidthBoundsBinsAndCoalesces)
 
     const auto coalesced = agg.coalesce(64);
     EXPECT_LE(coalesced.windows.size(), 64u);
-    EXPECT_GE(coalesced.windowTicks, agg.windowTicks());
+    EXPECT_GE(coalesced.windowTicks, agg.windowTicks().raw());
     std::uint64_t cops = 0;
     for (const auto &w : coalesced.windows)
         cops += w.ops;
@@ -329,24 +331,24 @@ TEST(LatencyRecorder, CapDecimatesButAggregatesStayExact)
         const sim::Tick s = 1 + static_cast<sim::Tick>(
                                     telemetry::traceSampleHash(i) % 1000);
         sum += static_cast<std::uint64_t>(s);
-        rec.record(s);
+        rec.record(sim::Ticks{s});
     }
     EXPECT_EQ(rec.count(), n);
     EXPECT_GT(rec.droppedSamples(), 0u);
     EXPECT_LE(rec.retainedSamples(), sim::LatencyRecorder::kSampleCap);
-    EXPECT_EQ(rec.min(), 1);
-    EXPECT_EQ(rec.max(), 1000);
+    EXPECT_EQ(rec.min().raw(), 1);
+    EXPECT_EQ(rec.max().raw(), 1000);
     EXPECT_NEAR(rec.mean(),
                 static_cast<double>(sum) / static_cast<double>(n), 1e-9);
     // Interior percentiles come from the decimated set; on a uniform
     // spread they stay within 5% of truth.
-    EXPECT_NEAR(static_cast<double>(rec.percentile(50.0)), 500.0, 25.0);
-    EXPECT_NEAR(static_cast<double>(rec.percentile(99.0)), 990.0, 49.5);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(50.0).raw()), 500.0, 25.0);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(99.0).raw()), 990.0, 49.5);
 
     rec.clear();
     EXPECT_EQ(rec.count(), 0u);
     EXPECT_EQ(rec.sampleStride(), 1u);
-    EXPECT_EQ(rec.percentile(50.0), 0);
+    EXPECT_EQ(rec.percentile(50.0).raw(), 0);
 }
 
 TEST(UtilizationSampler, SampleCapMergesRoundsAndSkipsBoundaries)
@@ -354,13 +356,14 @@ TEST(UtilizationSampler, SampleCapMergesRoundsAndSkipsBoundaries)
     sim::Simulator sim;
     telemetry::UtilizationSampler sampler;
     sim::Tick busy = 0;
-    sampler.addSource(0, "ssd.util", [&busy]() { return busy; });
+    sampler.addSource(0, "ssd.util",
+                      [&busy]() { return sim::Ticks{busy}; });
     sampler.setSampleCap(8);
-    sampler.start(sim, 100);
+    sampler.start(sim, sim::Ticks{100});
 
     for (sim::Tick now = 100; now <= 100 * 200; now += 100) {
         busy = now / 2; // 50% busy
-        sampler.onClockAdvance(now);
+        sampler.onClockAdvance(sim::Ticks{now});
     }
     EXPECT_LE(sampler.samples().size(), 8u);
     EXPECT_GT(sampler.emitStride(), 1u);

@@ -14,6 +14,7 @@
 
 using draid::sim::Simulator;
 using draid::sim::Tick;
+namespace sim = draid::sim;
 using draid::telemetry::SimProfiler;
 
 namespace {
@@ -38,10 +39,10 @@ TEST(SimProfiler, CountsEventsPerLabelExactly)
     SimProfiler profiler;
     profiler.attach(sim);
     for (int i = 0; i < 7; ++i)
-        sim.schedule(10 + i, "alpha", []() {});
+        sim.schedule(sim::Ticks{10 + i}, "alpha", []() {});
     for (int i = 0; i < 3; ++i)
-        sim.schedule(5, "beta", []() {});
-    sim.schedule(1, []() {}); // unlabeled
+        sim.schedule(sim::Ticks{5}, "beta", []() {});
+    sim.schedule(sim::Ticks{1}, []() {}); // unlabeled
     sim.run();
 
     const SimProfiler::Report report = profiler.report();
@@ -67,8 +68,8 @@ TEST(SimProfiler, MergesIdenticalLabelsAcrossDistinctPointers)
     Simulator sim;
     SimProfiler profiler;
     profiler.attach(sim);
-    sim.schedule(1, kA, []() {});
-    sim.schedule(2, kB, []() {});
+    sim.schedule(sim::Ticks{1}, kA, []() {});
+    sim.schedule(sim::Ticks{2}, kB, []() {});
     sim.run();
 
     const SimProfiler::Report report = profiler.report();
@@ -100,8 +101,8 @@ TEST(SimProfiler, HeapStatsAndHistogramsMatchHandBuiltSchedule)
     SimProfiler profiler;
     profiler.attach(sim);
     for (int i = 0; i < 8; ++i)
-        sim.schedule(10, "wide", []() {});
-    sim.schedule(20, "lone", []() {});
+        sim.schedule(sim::Ticks{10}, "wide", []() {});
+    sim.schedule(sim::Ticks{20}, "lone", []() {});
     sim.run();
 
     const SimProfiler::Report report = profiler.report();
@@ -142,19 +143,19 @@ TEST(SimProfiler, ProfiledRunLeavesSimulationByteIdentical)
         for (int i = 0; i < 50; ++i) {
             const Tick when = (i * 37) % 11;
             const int id = seq++;
-            sim.schedule(when, "outer", [&, id]() {
-                trace.emplace_back(sim.now(), "outer", id);
+            sim.schedule(sim::Ticks{when}, "outer", [&, id]() {
+                trace.emplace_back(sim.now().raw(), "outer", id);
                 // Nested fan-out, including same-tick zero-delay events.
                 for (int k = 0; k < 2; ++k) {
                     const int nested = seq++;
-                    sim.schedule(k, "inner", [&, nested]() {
-                        trace.emplace_back(sim.now(), "inner", nested);
+                    sim.schedule(sim::Ticks{k}, "inner", [&, nested]() {
+                        trace.emplace_back(sim.now().raw(), "inner", nested);
                     });
                 }
             });
         }
         sim.run();
-        trace.emplace_back(sim.now(), "final",
+        trace.emplace_back(sim.now().raw(), "final",
                            static_cast<int>(sim.eventsExecuted()));
     };
     std::vector<Row> off;
@@ -172,7 +173,7 @@ TEST(SimProfiler, WallClockFieldsArePlausible)
     // Enough work that the run window is strictly positive even at a
     // coarse clock granularity.
     for (int i = 0; i < 10000; ++i)
-        sim.schedule(i % 100, "work", []() {});
+        sim.schedule(sim::Ticks{i % 100}, "work", []() {});
     sim.run();
 
     const SimProfiler::Report report = profiler.report();
@@ -193,7 +194,7 @@ TEST(SimProfiler, AccumulatesAcrossSimulators)
         Simulator sim;
         profiler.attach(sim);
         for (int i = 0; i < 5; ++i)
-            sim.schedule(i, "round", []() {});
+            sim.schedule(sim::Ticks{i}, "round", []() {});
         sim.run();
     }
     const SimProfiler::Report report = profiler.report();
@@ -206,8 +207,8 @@ TEST(SimProfiler, WriteJsonEmitsRequiredKeys)
     Simulator sim;
     SimProfiler profiler;
     profiler.attach(sim);
-    sim.schedule(1, "k1", []() {});
-    sim.schedule(1, "k2", []() {});
+    sim.schedule(sim::Ticks{1}, "k1", []() {});
+    sim.schedule(sim::Ticks{1}, "k2", []() {});
     sim.run();
 
     std::ostringstream os;
@@ -232,7 +233,7 @@ TEST(SimProfiler, RenderAsciiShowsTotalsAndTopSources)
     SimProfiler profiler;
     profiler.attach(sim);
     for (int i = 0; i < 4; ++i)
-        sim.schedule(i, "hot.path", []() {});
+        sim.schedule(sim::Ticks{i}, "hot.path", []() {});
     sim.run();
 
     std::ostringstream os;

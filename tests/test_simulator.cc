@@ -12,7 +12,7 @@ using namespace draid::sim;
 TEST(Simulator, StartsAtTimeZero)
 {
     Simulator sim;
-    EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.now().raw(), 0);
     EXPECT_EQ(sim.eventsExecuted(), 0u);
 }
 
@@ -20,19 +20,19 @@ TEST(Simulator, ExecutesEventAtScheduledTime)
 {
     Simulator sim;
     Tick fired_at = -1;
-    sim.schedule(1000, [&]() { fired_at = sim.now(); });
+    sim.schedule(Ticks{1000}, [&]() { fired_at = sim.now().raw(); });
     sim.run();
     EXPECT_EQ(fired_at, 1000);
-    EXPECT_EQ(sim.now(), 1000);
+    EXPECT_EQ(sim.now().raw(), 1000);
 }
 
 TEST(Simulator, EventsFireInTimeOrder)
 {
     Simulator sim;
     std::vector<int> order;
-    sim.schedule(300, [&]() { order.push_back(3); });
-    sim.schedule(100, [&]() { order.push_back(1); });
-    sim.schedule(200, [&]() { order.push_back(2); });
+    sim.schedule(Ticks{300}, [&]() { order.push_back(3); });
+    sim.schedule(Ticks{100}, [&]() { order.push_back(1); });
+    sim.schedule(Ticks{200}, [&]() { order.push_back(2); });
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -42,7 +42,7 @@ TEST(Simulator, SameTickEventsFireFifo)
     Simulator sim;
     std::vector<int> order;
     for (int i = 0; i < 10; ++i)
-        sim.schedule(50, [&order, i]() { order.push_back(i); });
+        sim.schedule(Ticks{50}, [&order, i]() { order.push_back(i); });
     sim.run();
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(order[i], i);
@@ -52,8 +52,8 @@ TEST(Simulator, NestedSchedulingWorks)
 {
     Simulator sim;
     Tick second = -1;
-    sim.schedule(10, [&]() {
-        sim.schedule(5, [&]() { second = sim.now(); });
+    sim.schedule(Ticks{10}, [&]() {
+        sim.schedule(Ticks{5}, [&]() { second = sim.now().raw(); });
     });
     sim.run();
     EXPECT_EQ(second, 15);
@@ -63,23 +63,23 @@ TEST(Simulator, ZeroDelayFiresAtCurrentTime)
 {
     Simulator sim;
     bool fired = false;
-    sim.schedule(100, [&]() {
-        sim.schedule(0, [&]() { fired = true; });
+    sim.schedule(Ticks{100}, [&]() {
+        sim.schedule(Ticks{0}, [&]() { fired = true; });
     });
     sim.run();
     EXPECT_TRUE(fired);
-    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.now().raw(), 100);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline)
 {
     Simulator sim;
     int fired = 0;
-    sim.schedule(100, [&]() { ++fired; });
-    sim.schedule(200, [&]() { ++fired; });
-    sim.runUntil(150);
+    sim.schedule(Ticks{100}, [&]() { ++fired; });
+    sim.schedule(Ticks{200}, [&]() { ++fired; });
+    sim.runUntil(Ticks{150});
     EXPECT_EQ(fired, 1);
-    EXPECT_EQ(sim.now(), 150);
+    EXPECT_EQ(sim.now().raw(), 150);
     sim.run();
     EXPECT_EQ(fired, 2);
 }
@@ -87,19 +87,19 @@ TEST(Simulator, RunUntilStopsAtDeadline)
 TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains)
 {
     Simulator sim;
-    sim.runUntil(5000);
-    EXPECT_EQ(sim.now(), 5000);
+    sim.runUntil(Ticks{5000});
+    EXPECT_EQ(sim.now().raw(), 5000);
 }
 
 TEST(Simulator, StopHaltsExecution)
 {
     Simulator sim;
     int fired = 0;
-    sim.schedule(10, [&]() {
+    sim.schedule(Ticks{10}, [&]() {
         ++fired;
         sim.stop();
     });
-    sim.schedule(20, [&]() { ++fired; });
+    sim.schedule(Ticks{20}, [&]() { ++fired; });
     sim.run();
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(sim.pendingEvents(), 1u);
@@ -110,16 +110,16 @@ TEST(Simulator, StopHaltsExecution)
 TEST(Simulator, RunForAdvancesRelative)
 {
     Simulator sim;
-    sim.runFor(100);
-    sim.runFor(100);
-    EXPECT_EQ(sim.now(), 200);
+    sim.runFor(Ticks{100});
+    sim.runFor(Ticks{100});
+    EXPECT_EQ(sim.now().raw(), 200);
 }
 
 TEST(Simulator, CountsExecutedEvents)
 {
     Simulator sim;
     for (int i = 0; i < 25; ++i)
-        sim.schedule(i, []() {});
+        sim.schedule(Ticks{i}, []() {});
     sim.run();
     EXPECT_EQ(sim.eventsExecuted(), 25u);
 }
@@ -142,13 +142,13 @@ TEST(Simulator, SameTickFifoStressInterleavedScheduleVariants)
             const Tick when = 10 * (t + 1);
             const int id = seq++;
             auto fn = [&fired, &sim, id]() {
-                fired.emplace_back(sim.now(), id);
+                fired.emplace_back(sim.now().raw(), id);
             };
             switch (id % 4) {
-            case 0: sim.schedule(when, std::move(fn)); break;
-            case 1: sim.schedule(when, "stress.rel", std::move(fn)); break;
-            case 2: sim.scheduleAt(when, std::move(fn)); break;
-            default: sim.scheduleAt(when, "stress.abs", std::move(fn));
+            case 0: sim.schedule(Ticks{when}, std::move(fn)); break;
+            case 1: sim.schedule(Ticks{when}, "stress.rel", std::move(fn)); break;
+            case 2: sim.scheduleAt(Ticks{when}, std::move(fn)); break;
+            default: sim.scheduleAt(Ticks{when}, "stress.abs", std::move(fn));
             }
         }
     }
@@ -181,12 +181,12 @@ TEST(Simulator, ExecutedPlusPendingIsConserved)
         return sim.eventsExecuted() + sim.pendingEvents() == totalScheduled;
     };
     for (int i = 0; i < 100; ++i) {
-        sim.schedule(i % 7, [&]() {
+        sim.schedule(Ticks{i % 7}, [&]() {
             EXPECT_TRUE(conserved());
             // Fan out from inside a batch: these land on later ticks and
             // on this very tick (delay 0) while the batch is mid-drain.
             for (int k = 0; k < 3; ++k) {
-                sim.schedule(k, [&]() { EXPECT_TRUE(conserved()); });
+                sim.schedule(Ticks{k}, [&]() { EXPECT_TRUE(conserved()); });
                 ++totalScheduled;
             }
         });
@@ -207,15 +207,15 @@ TEST(Simulator, StopMidBatchKeepsSameTickLeftoversPending)
     Simulator sim;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        sim.schedule(10, [&sim, &order, i]() {
+        sim.schedule(Ticks{10}, [&sim, &order, i]() {
             order.push_back(i);
             if (i == 2)
                 sim.stop();
         });
-    sim.schedule(20, [&order]() { order.push_back(100); });
+    sim.schedule(Ticks{20}, [&order]() { order.push_back(100); });
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
-    EXPECT_EQ(sim.now(), 10);
+    EXPECT_EQ(sim.now().raw(), 10);
     EXPECT_EQ(sim.eventsExecuted(), 3u);
     EXPECT_EQ(sim.pendingEvents(), 6u); // 5 same-tick leftovers + tick 20
     sim.run();
@@ -231,19 +231,19 @@ TEST(Simulator, RunUntilDoesNotExecuteLeftoverBatchPastDeadline)
     Simulator sim;
     int fired = 0;
     for (int i = 0; i < 4; ++i)
-        sim.schedule(100, [&sim, &fired, i]() {
+        sim.schedule(Ticks{100}, [&sim, &fired, i]() {
             ++fired;
             if (i == 0)
                 sim.stop();
         });
     sim.run();
     EXPECT_EQ(fired, 1);
-    EXPECT_EQ(sim.now(), 100);
-    sim.runUntil(50);
+    EXPECT_EQ(sim.now().raw(), 100);
+    sim.runUntil(Ticks{50});
     EXPECT_EQ(fired, 1);
-    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.now().raw(), 100);
     EXPECT_EQ(sim.pendingEvents(), 3u);
-    sim.runUntil(100);
+    sim.runUntil(Ticks{100});
     EXPECT_EQ(fired, 4);
     EXPECT_EQ(sim.pendingEvents(), 0u);
 }
@@ -256,11 +256,11 @@ TEST(Simulator, LabeledOverloadsDoNotChangeSemantics)
     const auto drive = [](Simulator &sim, bool labeled,
                           std::vector<Tick> &ticks) {
         for (int i = 0; i < 32; ++i) {
-            auto fn = [&ticks, &sim]() { ticks.push_back(sim.now()); };
+            auto fn = [&ticks, &sim]() { ticks.push_back(sim.now().raw()); };
             if (labeled)
-                sim.schedule(i * 3 % 17, "labeled", std::move(fn));
+                sim.schedule(Ticks{i * 3 % 17}, "labeled", std::move(fn));
             else
-                sim.schedule(i * 3 % 17, std::move(fn));
+                sim.schedule(Ticks{i * 3 % 17}, std::move(fn));
         }
         sim.run();
     };
@@ -271,7 +271,7 @@ TEST(Simulator, LabeledOverloadsDoNotChangeSemantics)
     drive(plain, false, plainTicks);
     drive(tagged, true, taggedTicks);
     EXPECT_EQ(plainTicks, taggedTicks);
-    EXPECT_EQ(plain.now(), tagged.now());
+    EXPECT_EQ(plain.now().raw(), tagged.now().raw());
     EXPECT_EQ(plain.eventsExecuted(), tagged.eventsExecuted());
 }
 

@@ -9,6 +9,7 @@ using namespace draid;
 using namespace draid::nvme;
 using draid::sim::Simulator;
 using draid::sim::Tick;
+using draid::sim::Ticks;
 using draid::sim::kMicrosecond;
 
 namespace {
@@ -20,9 +21,9 @@ testConfig()
     c.capacity = 1ull << 30;
     c.readBw = 3.2e9;
     c.writeBw = 2.375e9;
-    c.readLatency = 84 * kMicrosecond;
-    c.writeLatency = 14 * kMicrosecond;
-    c.perCommand = 2 * kMicrosecond;
+    c.readLatency = Ticks::us(84);
+    c.writeLatency = Ticks::us(14);
+    c.perCommand = Ticks::us(2);
     return c;
 }
 
@@ -69,7 +70,7 @@ TEST(Ssd, ReadLatencyMatchesConfig)
     Ssd ssd(sim, testConfig());
     Tick t = -1;
     ssd.read(0, 128 * 1024, [&](blockdev::IoStatus, ec::Buffer) {
-        t = sim.now();
+        t = sim.now().raw();
     });
     sim.run();
     // 2us per-cmd + 128K/3.2GB/s (= 40.96us) + 84us latency.
@@ -91,7 +92,7 @@ TEST(Ssd, WriteThroughputMatchesChannelRate)
     sim.run();
     EXPECT_EQ(completed, n);
     const double rate =
-        static_cast<double>(n) * (1 << 20) / draid::sim::toSeconds(sim.now());
+        static_cast<double>(n) * (1 << 20) / draid::sim::toSeconds(sim.now().raw());
     // Per-command overhead costs a little throughput; allow 2%.
     EXPECT_NEAR(rate, 2.375e9, 2.375e9 * 0.02);
 }
@@ -102,10 +103,10 @@ TEST(Ssd, ReadsAndWritesShareTheMediaChannel)
     Ssd ssd(sim, testConfig());
     Tick t_read = -1, t_write = -1;
     ssd.read(0, 1 << 20, [&](blockdev::IoStatus, ec::Buffer) {
-        t_read = sim.now();
+        t_read = sim.now().raw();
     });
     ssd.write(1 << 20, ec::Buffer(1 << 20), [&](blockdev::IoStatus) {
-        t_write = sim.now();
+        t_write = sim.now().raw();
     });
     sim.run();
     // The read occupies the channel first; the write queues behind it.

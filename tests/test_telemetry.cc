@@ -388,7 +388,7 @@ TEST(TelemetryE2E, RegistryExposesPerNodeCountersAfterIo)
 TEST(TelemetryE2E, UtilizationSamplerCollectsBusyFractions)
 {
     DraidRig rig(5, fourPlusOneOptions());
-    rig.cluster->startUtilizationSampling(10 * sim::kMicrosecond);
+    rig.cluster->startUtilizationSampling(sim::Ticks::us(10));
 
     ec::Buffer data(256 * 1024); // a full stripe keeps the NICs busy
     data.fillPattern(5);
@@ -415,24 +415,24 @@ TEST(TelemetryDeterminism, TracingDoesNotPerturbCompletionTicks)
         DraidRig rig(6, fourPlusOneOptions());
         if (telemetry_on) {
             rig.cluster->tracer().setEnabled(true);
-            rig.cluster->startUtilizationSampling(20 * sim::kMicrosecond);
+            rig.cluster->startUtilizationSampling(sim::Ticks::us(20));
         }
 
         std::vector<sim::Tick> ticks;
         ec::Buffer big(192 * 1024);
         big.fillPattern(6);
         EXPECT_TRUE(writeSync(rig.sim(), rig.host(), 8192, big));
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         ec::Buffer small(16 * 1024);
         small.fillPattern(7);
         EXPECT_TRUE(writeSync(rig.sim(), rig.host(), 0, small));
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         bool ok = false;
         readSync(rig.sim(), rig.host(), 4096, 64 * 1024, &ok);
         EXPECT_TRUE(ok);
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
         return ticks;
     };
 

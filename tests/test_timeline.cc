@@ -121,10 +121,10 @@ TEST(WindowedAggregator, HandComputedBins)
 {
     // Window = 1000 ticks = 1 us. Two ops land in window 0, none in
     // window 1, one in window 2.
-    telemetry::WindowedAggregator agg(1000);
-    agg.addOp(/*end=*/100, /*latency=*/50, /*bytes=*/1000);
-    agg.addOp(/*end=*/999, /*latency=*/150, /*bytes=*/500);
-    agg.addOp(/*end=*/2500, /*latency=*/100, /*bytes=*/2000);
+    telemetry::WindowedAggregator agg(sim::Ticks{1000});
+    agg.addOp(sim::Ticks{100}, sim::Ticks{50}, /*bytes=*/1000);
+    agg.addOp(sim::Ticks{999}, sim::Ticks{150}, /*bytes=*/500);
+    agg.addOp(sim::Ticks{2500}, sim::Ticks{100}, /*bytes=*/2000);
     EXPECT_EQ(agg.opsAdded(), 3u);
 
     const auto windows = agg.finalize();
@@ -153,9 +153,9 @@ TEST(WindowedAggregator, HandComputedBins)
 
 TEST(WindowedAggregator, ExplicitRangeExtendsCoverage)
 {
-    telemetry::WindowedAggregator agg(1000);
-    agg.addOp(1500, 10, 100);
-    const auto windows = agg.finalize(0, 5000);
+    telemetry::WindowedAggregator agg(sim::Ticks{1000});
+    agg.addOp(sim::Ticks{1500}, sim::Ticks{10}, 100);
+    const auto windows = agg.finalize(sim::Ticks::zero(), sim::Ticks{5000});
     ASSERT_EQ(windows.size(), 5u);
     EXPECT_EQ(windows[0].ops, 0u);
     EXPECT_EQ(windows[1].ops, 1u);
@@ -164,7 +164,7 @@ TEST(WindowedAggregator, ExplicitRangeExtendsCoverage)
 
 TEST(WindowedAggregator, SpanIngestionUsesOpLaneOnly)
 {
-    telemetry::WindowedAggregator agg(1000);
+    telemetry::WindowedAggregator agg(sim::Ticks{1000});
     telemetry::TraceSpan op;
     op.lane = "op";
     op.name = "draid.read";
@@ -192,8 +192,8 @@ TEST(Timeline, UtilizationRebinsAndCarriesForward)
     samples.push_back({1, "ssd.util", 100, 0.2});
     samples.push_back({1, "ssd.util", 900, 0.6});
     const auto series =
-        telemetry::binUtilization(samples, /*from=*/0,
-                                  /*window_ticks=*/1000, /*num_windows=*/2);
+        telemetry::binUtilization(samples, /*from=*/sim::Ticks::zero(),
+                                  sim::Ticks{1000}, /*num_windows=*/2);
     ASSERT_EQ(series.size(), 1u);
     EXPECT_EQ(series[0].node, 1);
     ASSERT_EQ(series[0].perWindow.size(), 2u);
@@ -254,7 +254,7 @@ syntheticReport()
     events.push_back(
         {telemetry::EventType::kRebuildCompleted, 0, 6999, 8, 0});
     return telemetry::buildTimeline(spans, events, {},
-                                    /*window_ticks=*/1000, /*host_node=*/0);
+                                    sim::Ticks{1000}, /*host_node=*/0);
 }
 
 } // namespace
@@ -274,7 +274,7 @@ TEST(Timeline, BuildClampsEventsAndSizesWindows)
     s.start = 0;
     s.end = 100;
     const auto clamped =
-        telemetry::buildTimeline({s}, far, {}, 1000, 0);
+        telemetry::buildTimeline({s}, far, {}, sim::Ticks{1000}, 0);
     EXPECT_TRUE(clamped.events.empty());
 }
 
@@ -421,7 +421,7 @@ TEST(TimelineDeterminism, JournalAndTimelineDoNotPerturbTicks)
         auto &tel = rig.cluster->telemetry();
         if (instrumented) {
             rig.cluster->tracer().setEnabled(true);
-            rig.cluster->startUtilizationSampling(20 * sim::kMicrosecond);
+            rig.cluster->startUtilizationSampling(sim::Ticks::us(20));
         } else {
             tel.journal().setEnabled(false);
         }
@@ -436,14 +436,14 @@ TEST(TimelineDeterminism, JournalAndTimelineDoNotPerturbTicks)
             buf.fillPattern(static_cast<int>(s) + 3);
             EXPECT_TRUE(
                 writeSync(rig.sim(), rig.host(), s * stripeData, buf));
-            ticks.push_back(rig.sim().now());
+            ticks.push_back(rig.sim().now().raw());
         }
 
         rig.host().markFailed(0);
         bool ok = false;
         readSync(rig.sim(), rig.host(), 0, stripeData, &ok);
         EXPECT_TRUE(ok);
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         core::RebuildJob job(
             rig.sim(),
@@ -455,19 +455,19 @@ TEST(TimelineDeterminism, JournalAndTimelineDoNotPerturbTicks)
         job.start([&](bool) { rig.sim().stop(); });
         while (!job.finished() && rig.sim().pendingEvents() > 0)
             rig.sim().run();
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
         rig.host().replaceDevice(0, 5);
 
         readSync(rig.sim(), rig.host(), 0, stripeData, &ok);
         EXPECT_TRUE(ok);
-        ticks.push_back(rig.sim().now());
+        ticks.push_back(rig.sim().now().raw());
 
         if (instrumented) {
             // Post-processing is pure: it runs after the ticks were
             // sampled and touches no simulator state.
             const auto report = telemetry::buildTimeline(
                 rig.cluster->tracer().spans(), tel.journal().snapshot(),
-                tel.sampler().samples(), /*window_ticks=*/0,
+                tel.sampler().samples(), sim::Ticks::zero(),
                 rig.cluster->hostId());
             EXPECT_FALSE(report.windows.empty());
             std::ostringstream ss;

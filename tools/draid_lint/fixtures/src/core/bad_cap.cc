@@ -1,0 +1,9 @@
+// Fixture: an empty cap() is malformed — it reports bad-suppression and
+// leaves the member unbounded.
+#include <vector>
+
+class Q
+{
+    // draid-lint: cap()
+    std::vector<int> q_;
+};

@@ -1,0 +1,20 @@
+// Fixture: an event callback that re-enters the engine, fans out
+// schedules in a loop and allocates per iteration.
+struct Sim
+{
+    void run();
+    bool busy();
+    void schedule(long long when, void (*fn)());
+};
+
+void
+plant(Sim &sim)
+{
+    sim.schedule(100, [&sim] {
+        sim.run();
+        for (int i = 0; i < 8; ++i)
+            sim.schedule(200, nullptr);
+        while (sim.busy())
+            auto p = new int(3);
+    });
+}

@@ -1,0 +1,9 @@
+// Fixture: the same growable member, bounded with a cap() annotation,
+// lints clean (a cap is a contract, not a suppression).
+#include <vector>
+
+class RebuildQueue
+{
+    // draid-lint: cap(kQueueDepth; popped every tick)
+    std::vector<int> pending_;
+};

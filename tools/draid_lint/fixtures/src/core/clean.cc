@@ -10,7 +10,9 @@ namespace fixture {
  *  stable id, and integral accumulation. Must produce zero diagnostics. */
 struct Ledger
 {
+    // draid-lint: cap(one entry per allocated slot)
     std::unordered_map<std::uint64_t, std::uint64_t> bySlot_;
+    // draid-lint: cap(one entry per allocated slot)
     std::map<std::uint64_t, std::uint64_t> byId_;
 
     std::uint64_t lookup(std::uint64_t slot) const

@@ -1,0 +1,9 @@
+// Fixture: a growable container member under src/ with no cap()
+// annotation and no reasoned allow(bounded-memory).
+#include <vector>
+
+class RebuildQueue
+{
+  private:
+    std::vector<int> pending_;
+};

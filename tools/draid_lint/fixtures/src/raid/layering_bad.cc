@@ -1,0 +1,3 @@
+// Fixture: src/raid may depend only on {sim, telemetry}; including a
+// core header inverts the layering DAG.
+#include "core/draid_host.h"

@@ -1,0 +1,14 @@
+// Fixture: the engine's scheduling surface must take/return the strong
+// sim::Ticks type; raw Tick parameters and returns violate tick-unit.
+namespace sim {
+
+using Tick = long long;
+
+class Simulator
+{
+  public:
+    Tick now() const;
+    void scheduleAt(Tick when);
+};
+
+} // namespace sim

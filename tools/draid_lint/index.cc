@@ -1,0 +1,328 @@
+#include "index.h"
+
+#include <set>
+
+namespace draidlint {
+
+namespace {
+
+const std::string &
+tokText(const FileUnit &u, std::size_t i)
+{
+    static const std::string kEmpty;
+    return i < u.tokens.size() ? u.tokens[i].text : kEmpty;
+}
+
+bool
+isIdent(const FileUnit &u, std::size_t i)
+{
+    return i < u.tokens.size() &&
+           u.tokens[i].kind == Token::Kind::kIdentifier;
+}
+
+/** One past the punct matching @p open at index i (which holds @p open);
+ *  tokens.size() when unmatched. */
+std::size_t
+matchForward(const FileUnit &u, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < u.tokens.size(); ++i) {
+        const std::string &t = u.tokens[i].text;
+        if (t == open)
+            ++depth;
+        else if (t == close && --depth == 0)
+            return i + 1;
+    }
+    return u.tokens.size();
+}
+
+/** One past the '>' matching the '<' at @p lt; bails at ';'/'{'. */
+std::size_t
+skipTemplateArgs(const FileUnit &u, std::size_t lt)
+{
+    int depth = 0;
+    for (std::size_t i = lt; i < u.tokens.size(); ++i) {
+        const std::string &t = u.tokens[i].text;
+        if (t == "<")
+            ++depth;
+        else if (t == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (t == ";" || t == "{")
+            break;
+    }
+    return u.tokens.size();
+}
+
+bool
+isGrowableContainer(const std::string &t)
+{
+    static const std::set<std::string> kGrowable = {
+        "vector",        "deque",
+        "list",          "forward_list",
+        "map",           "multimap",
+        "set",           "multiset",
+        "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset",
+        "queue",         "priority_queue",
+        "stack",
+    };
+    return kGrowable.count(t) != 0;
+}
+
+bool
+isControlKeyword(const std::string &t)
+{
+    return t == "if" || t == "for" || t == "while" || t == "switch" ||
+           t == "catch" || t == "do" || t == "else" || t == "try";
+}
+
+struct Scope
+{
+    enum class Kind
+    {
+        kNamespace,
+        kClass,
+        kFunction,
+        kLambda,
+        kControl,
+        kOther,
+    };
+    Kind kind;
+    std::string className;   ///< set for kClass
+    std::size_t stmtBefore = 0; ///< statement start when the scope opened
+};
+
+/**
+ * Classify the scope opened by the '{' at @p brace given its statement
+ * head tokens [stmt, brace).
+ */
+Scope
+classifyScope(const FileUnit &u, std::size_t stmt, std::size_t brace)
+{
+    Scope scope{Scope::Kind::kOther, ""};
+    std::size_t i = stmt;
+    // A leading template<...> prefix says nothing about the scope kind.
+    if (tokText(u, i) == "template" && tokText(u, i + 1) == "<")
+        i = skipTemplateArgs(u, i + 1);
+    if (i >= brace)
+        return scope; // bare block / braced initializer
+    const std::string &first = tokText(u, i);
+    if (isControlKeyword(first)) {
+        scope.kind = Scope::Kind::kControl;
+        return scope;
+    }
+    // enum / enum class bodies hold no members or functions.
+    if (first == "enum")
+        return scope;
+    for (std::size_t j = i; j < brace; ++j) {
+        const std::string &t = tokText(u, j);
+        if (t == "namespace") {
+            scope.kind = Scope::Kind::kNamespace;
+            return scope;
+        }
+        if (t == "class" || t == "struct" || t == "union") {
+            scope.kind = Scope::Kind::kClass;
+            // Name: last identifier before the base clause / brace.
+            for (std::size_t k = j + 1; k < brace; ++k) {
+                if (tokText(u, k) == ":")
+                    break;
+                if (isIdent(u, k))
+                    scope.className = u.tokens[k].text;
+            }
+            return scope;
+        }
+        if (t == "=" || t == "return")
+            return scope; // braced initializer / expression braces
+        if (t == "(") {
+            // Function definition, lambda, or braced call argument. A
+            // lambda's parameter parens are preceded by its ']' capture.
+            scope.kind = j > stmt && tokText(u, j - 1) == "]"
+                             ? Scope::Kind::kLambda
+                             : Scope::Kind::kFunction;
+            return scope;
+        }
+    }
+    return scope;
+}
+
+/**
+ * Harvest a growable-container member from the class-scope statement
+ * [stmt, semi). Style-reliant: `std::vector<T> name_;` possibly with a
+ * brace/equals initializer, one declarator per statement.
+ */
+void
+tryGrowableMember(const FileUnit &u, std::size_t stmt, std::size_t semi,
+                  const std::string &class_name, FileIndex &out)
+{
+    std::size_t i = stmt;
+    while (i < semi &&
+           (tokText(u, i) == "static" || tokText(u, i) == "inline" ||
+            tokText(u, i) == "mutable" || tokText(u, i) == "constexpr" ||
+            tokText(u, i) == "const"))
+        ++i;
+    if (tokText(u, i) == "using")
+        return; // alias, not storage
+    if (tokText(u, i) == "std" && tokText(u, i + 1) == "::")
+        i += 2;
+    if (!isIdent(u, i) || !isGrowableContainer(u.tokens[i].text) ||
+        tokText(u, i + 1) != "<")
+        return;
+    const std::string container = u.tokens[i].text;
+    std::size_t after = skipTemplateArgs(u, i + 1);
+    while (after < semi &&
+           (tokText(u, after) == "&" || tokText(u, after) == "*" ||
+            tokText(u, after) == "const"))
+        ++after;
+    if (!isIdent(u, after) || after >= semi)
+        return;
+    const std::string &next = tokText(u, after + 1);
+    // `std::vector<T> items() const;` is a getter, not storage.
+    if (next == "(")
+        return;
+    out.growableMembers.push_back(
+        {u.tokens[after].line, container, u.tokens[after].text, class_name});
+}
+
+/**
+ * Harvest a function declaration/definition from the statement head
+ * [stmt, end) at class or namespace scope. The name is the identifier
+ * before the first top-level '(' (template args skipped so callable
+ * types in the return position don't fake a parameter list).
+ */
+void
+tryFunctionDecl(const FileUnit &u, std::size_t stmt, std::size_t end,
+                FileIndex &out)
+{
+    std::size_t i = stmt;
+    if (tokText(u, i) == "template" && tokText(u, i + 1) == "<")
+        i = skipTemplateArgs(u, i + 1);
+    if (i < end && isControlKeyword(tokText(u, i)))
+        return;
+    for (std::size_t j = i; j < end; ++j) {
+        const std::string &t = tokText(u, j);
+        if (t == "<") {
+            std::size_t after = skipTemplateArgs(u, j);
+            if (after > j + 1)
+                j = after - 1;
+            continue;
+        }
+        if (t == "=" || t == "[")
+            return; // initializer or lambda, not a declaration
+        if (t != "(")
+            continue;
+        if (j == stmt || !isIdent(u, j - 1))
+            return;
+        std::size_t close = matchForward(u, j, "(", ")");
+        if (close == u.tokens.size())
+            return;
+        FunctionDecl fn;
+        fn.line = u.tokens[j - 1].line;
+        fn.name = u.tokens[j - 1].text;
+        fn.returnType = {i, j - 1};
+        fn.params = {j + 1, close - 1};
+        out.functions.push_back(fn);
+        return;
+    }
+}
+
+/**
+ * Record the body ranges of lambdas inside schedule()/scheduleAt() call
+ * arguments. Linear: nested schedules inside a callback body are found
+ * by the same outer scan.
+ */
+void
+collectCallbacks(const FileUnit &u, FileIndex &out)
+{
+    for (std::size_t i = 0; i + 1 < u.tokens.size(); ++i) {
+        const std::string &t = u.tokens[i].text;
+        if ((t != "schedule" && t != "scheduleAt") ||
+            tokText(u, i + 1) != "(")
+            continue;
+        const int call_line = u.tokens[i].line;
+        std::size_t call_end = matchForward(u, i + 1, "(", ")");
+        for (std::size_t j = i + 2; j < call_end && j < u.tokens.size();
+             ++j) {
+            if (tokText(u, j) != "[")
+                continue;
+            // '[' after a value expression is a subscript, not a capture.
+            const std::string &prev = tokText(u, j - 1);
+            if (j > 0 && (isIdent(u, j - 1) || prev == "]" || prev == ")"))
+                continue;
+            std::size_t after_capture = matchForward(u, j, "[", "]");
+            if (after_capture >= u.tokens.size())
+                break;
+            std::size_t k = after_capture;
+            if (tokText(u, k) == "(")
+                k = matchForward(u, k, "(", ")");
+            // Skip specifiers / trailing return up to the body brace.
+            while (k < u.tokens.size() && tokText(u, k) != "{" &&
+                   tokText(u, k) != "," && tokText(u, k) != ")")
+                ++k;
+            if (tokText(u, k) != "{")
+                continue;
+            std::size_t body_end = matchForward(u, k, "{", "}");
+            out.callbacks.push_back({call_line, {k + 1, body_end - 1}});
+            j = k; // scan inside the body for nested lambdas too
+        }
+    }
+}
+
+} // namespace
+
+FileIndex
+buildFileIndex(const FileUnit &unit)
+{
+    FileIndex index;
+    std::vector<Scope> stack;
+    stack.push_back({Scope::Kind::kNamespace, ""}); // file scope
+    std::size_t stmt = 0;
+
+    for (std::size_t i = 0; i < unit.tokens.size(); ++i) {
+        const std::string &t = unit.tokens[i].text;
+        if (t == "{") {
+            Scope scope = classifyScope(unit, stmt, i);
+            scope.stmtBefore = stmt;
+            const Scope::Kind at = stack.back().kind;
+            if (scope.kind == Scope::Kind::kFunction &&
+                (at == Scope::Kind::kClass ||
+                 at == Scope::Kind::kNamespace))
+                tryFunctionDecl(unit, stmt, i, index);
+            stack.push_back(scope);
+            stmt = i + 1;
+        } else if (t == "}") {
+            // Popping a braced initializer resumes the declaration it
+            // interrupted (`std::vector<T> v_{...};` must still be seen
+            // as one member statement at the ';').
+            if (stack.size() > 1) {
+                if (stack.back().kind == Scope::Kind::kOther)
+                    stmt = stack.back().stmtBefore;
+                else
+                    stmt = i + 1;
+                stack.pop_back();
+            } else {
+                stmt = i + 1;
+            }
+        } else if (t == ";") {
+            const Scope &at = stack.back();
+            if (at.kind == Scope::Kind::kClass) {
+                tryGrowableMember(unit, stmt, i, at.className, index);
+                tryFunctionDecl(unit, stmt, i, index);
+            } else if (at.kind == Scope::Kind::kNamespace) {
+                tryFunctionDecl(unit, stmt, i, index);
+            }
+            stmt = i + 1;
+        } else if (t == ":" && i > 0 &&
+                   (unit.tokens[i - 1].text == "public" ||
+                    unit.tokens[i - 1].text == "private" ||
+                    unit.tokens[i - 1].text == "protected")) {
+            stmt = i + 1; // access specifier ends the statement head
+        }
+    }
+
+    collectCallbacks(unit, index);
+    return index;
+}
+
+} // namespace draidlint

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-file symbol/scope index for the semantic rules (lint.h).
+ *
+ * One linear pass over the token stream tracks the brace-scope stack
+ * (namespace / class / function / lambda / control block) and harvests:
+ *
+ *  - growable container members declared at class scope (bounded-memory),
+ *  - function declarations at class/namespace scope with their return-type
+ *    and parameter-list token ranges (tick-unit),
+ *  - the body token ranges of lambdas passed to Simulator::schedule() /
+ *    scheduleAt() — event callbacks (callback-discipline).
+ *
+ * Like the lexer, this is deliberately NOT a C++ front end: it leans on
+ * the repo's consistent style (clang-format, one declaration per line,
+ * `Type name_;` members) and prefers false negatives over noise.
+ */
+
+#ifndef DRAID_TOOLS_LINT_INDEX_H
+#define DRAID_TOOLS_LINT_INDEX_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace draidlint {
+
+/** Half-open token index range [begin, end). */
+struct TokenRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** A class-scope data member whose type can grow without bound. */
+struct GrowableMember
+{
+    int line = 0;            ///< line of the declared name
+    std::string container;   ///< e.g. "vector", "unordered_map"
+    std::string name;        ///< declared identifier
+    std::string className;   ///< enclosing class/struct ("" if anonymous)
+};
+
+/** A function declaration (or definition) at class/namespace scope. */
+struct FunctionDecl
+{
+    int line = 0;
+    std::string name;
+    TokenRange returnType; ///< statement tokens before the name
+    TokenRange params;     ///< tokens strictly inside the parameter parens
+};
+
+/** The body of a lambda passed to schedule()/scheduleAt(). */
+struct CallbackBody
+{
+    int line = 0;     ///< line of the schedule call
+    TokenRange body;  ///< tokens strictly inside the lambda's braces
+};
+
+/** Everything the semantic rules need to know about one file. */
+struct FileIndex
+{
+    std::vector<GrowableMember> growableMembers;
+    std::vector<FunctionDecl> functions;
+    std::vector<CallbackBody> callbacks;
+};
+
+/** Build the index for @p unit in one token pass. */
+FileIndex buildFileIndex(const FileUnit &unit);
+
+} // namespace draidlint
+
+#endif // DRAID_TOOLS_LINT_INDEX_H

@@ -47,9 +47,10 @@ trim(const std::string &s)
 }
 
 /**
- * Parse a `draid-lint:` marker inside comment text. Returns true when the
- * comment is well-formed (`allow(<rule>) -- <reason>` with a non-empty
- * reason); malformed markers land in badSuppressionLines.
+ * Parse a `draid-lint:` marker inside comment text. Two well-formed
+ * shapes exist: `allow(<rule>) -- <reason>` (reason mandatory) and
+ * `cap(<expr>)` (bound expression mandatory). Anything else after the
+ * marker lands in badSuppressionLines.
  */
 void
 parseSuppression(const std::string &comment, int line, FileUnit &unit)
@@ -59,6 +60,24 @@ parseSuppression(const std::string &comment, int line, FileUnit &unit)
     if (at == std::string::npos)
         return;
     std::string rest = trim(comment.substr(at + marker.size()));
+    const std::string cap = "cap(";
+    if (rest.compare(0, cap.size(), cap) == 0) {
+        // The bound may itself contain parentheses (e.g. a call-shaped
+        // constant), so match the marker's own closing paren from the end.
+        std::size_t close = rest.rfind(')');
+        if (close == std::string::npos || close < cap.size() ||
+            !trim(rest.substr(close + 1)).empty()) {
+            unit.badSuppressionLines.push_back(line);
+            return;
+        }
+        std::string expr = trim(rest.substr(cap.size(), close - cap.size()));
+        if (expr.empty()) {
+            unit.badSuppressionLines.push_back(line);
+            return;
+        }
+        unit.caps.push_back({line, expr});
+        return;
+    }
     const std::string allow = "allow(";
     if (rest.compare(0, allow.size(), allow) != 0) {
         unit.badSuppressionLines.push_back(line);

@@ -16,6 +16,17 @@
  *
  * covers the comment's own line and the line below it; the reason text is
  * mandatory (a reasonless allow() is itself a violation).
+ *
+ * v2 adds a semantic pass on top of the token stream: a per-file
+ * symbol/scope index (index.h) feeding tick-unit, bounded-memory and
+ * callback-discipline rules, and a module include graph (graph.h)
+ * enforcing the layering DAG of DESIGN.md §6. Growable container members
+ * declare their bound with a second marker form:
+ *
+ *     // draid-lint: cap(<expr>)
+ *
+ * where <expr> names the invariant that bounds the container (a constant,
+ * a config field, a fixed topology count). An empty cap() is a violation.
  */
 
 #ifndef DRAID_TOOLS_LINT_H
@@ -59,6 +70,13 @@ struct Suppression
     std::string reason;
 };
 
+/** One parsed `draid-lint: cap(expr)` bounded-memory annotation. */
+struct CapAnnotation
+{
+    int line;
+    std::string expr; ///< the bound; non-empty by construction
+};
+
 /** A lexed source file. */
 struct FileUnit
 {
@@ -67,6 +85,7 @@ struct FileUnit
     std::vector<Token> tokens;
     std::vector<Include> includes;
     std::vector<Suppression> suppressions;
+    std::vector<CapAnnotation> caps;
     /** Lines carrying a malformed / reasonless draid-lint comment. */
     std::vector<int> badSuppressionLines;
 };
@@ -107,8 +126,23 @@ void collectHeaderSymbols(const FileUnit &unit, SymbolTables &tables);
 void runRules(const FileUnit &unit, const SymbolTables &tables,
               std::vector<Diagnostic> &out);
 
+/**
+ * The v2 semantic pass (rules_semantic.cc): builds the file's
+ * symbol/scope index and runs layering, tick-unit, bounded-memory and
+ * callback-discipline. Called by runRules; exposed for targeted tests.
+ */
+void runSemanticRules(const FileUnit &unit, std::vector<Diagnostic> &out);
+
 /** All rule ids, for --list-rules and allow() validation. */
 const std::vector<std::string> &allRuleIds();
+
+/** Rule id + one-line doc, in registry order (--list-rules). */
+struct RuleInfo
+{
+    std::string id;
+    std::string doc;
+};
+const std::vector<RuleInfo> &allRules();
 
 } // namespace draidlint
 

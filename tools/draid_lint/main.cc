@@ -1,12 +1,14 @@
 /**
  * @file
  * draid_lint driver: walks the scan roots, lexes every C++ file, runs the
- * rule registry twice (pass 1 harvests header symbols, pass 2 lints) and
- * prints `file:line: rule-id: message` sorted by location.
+ * rule registry twice (pass 1 harvests header symbols, pass 2 lints —
+ * including the v2 semantic pass and the repo-wide include-cycle check)
+ * and emits diagnostics in the selected format.
  *
  * Exit codes: 0 clean, 1 violations, 2 usage/IO error.
  */
 
+#include "graph.h"
 #include "lint.h"
 
 #include <algorithm>
@@ -38,7 +40,12 @@ usage(std::FILE *to)
         "                           (default: current directory)\n"
         "  --max-suppressions=<n>   fail when more than <n> allow()\n"
         "                           comments exist across the scan\n"
-        "  --list-rules             print rule ids and exit\n"
+        "  --format=<fmt>           text (default), json, or github\n"
+        "                           (::error workflow annotations)\n"
+        "  --report=<path>          additionally write the json report\n"
+        "                           to <path>\n"
+        "  --only=<rule>            restrict reporting to one rule id\n"
+        "  --list-rules             print the rule table and exit\n"
         "  -h, --help               this text\n");
 }
 
@@ -57,6 +64,49 @@ relPath(const fs::path &p, const fs::path &root)
     return s;
 }
 
+/** Minimal JSON string escape (paths and messages are ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonReport(std::FILE *to, const std::vector<draidlint::Diagnostic> &diags,
+                std::size_t files, std::size_t suppressions)
+{
+    std::fprintf(to, "{\"files\":%zu,\"suppressions\":%zu,\"violations\":[",
+                 files, suppressions);
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const draidlint::Diagnostic &d = diags[i];
+        std::fprintf(to,
+                     "%s{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\","
+                     "\"message\":\"%s\"}",
+                     i ? "," : "", jsonEscape(d.file).c_str(), d.line,
+                     jsonEscape(d.rule).c_str(),
+                     jsonEscape(d.message).c_str());
+    }
+    std::fprintf(to, "]}\n");
+}
+
 } // namespace
 
 int
@@ -64,6 +114,9 @@ main(int argc, char **argv)
 {
     fs::path root = ".";
     long max_suppressions = -1;
+    std::string format = "text";
+    std::string report_path;
+    std::string only_rule;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -72,9 +125,31 @@ main(int argc, char **argv)
             root = arg.substr(7);
         } else if (arg.rfind("--max-suppressions=", 0) == 0) {
             max_suppressions = std::strtol(arg.c_str() + 19, nullptr, 10);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json" &&
+                format != "github") {
+                std::fprintf(stderr,
+                             "draid_lint: unknown format '%s' (expected "
+                             "text, json, or github)\n",
+                             format.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--report=", 0) == 0) {
+            report_path = arg.substr(9);
+        } else if (arg.rfind("--only=", 0) == 0) {
+            only_rule = arg.substr(7);
+            const auto &ids = draidlint::allRuleIds();
+            if (std::find(ids.begin(), ids.end(), only_rule) == ids.end()) {
+                std::fprintf(stderr,
+                             "draid_lint: --only names unknown rule '%s' "
+                             "(see --list-rules)\n",
+                             only_rule.c_str());
+                return 2;
+            }
         } else if (arg == "--list-rules") {
-            for (const std::string &id : draidlint::allRuleIds())
-                std::printf("%s\n", id.c_str());
+            for (const draidlint::RuleInfo &r : draidlint::allRules())
+                std::printf("%-20s %s\n", r.id.c_str(), r.doc.c_str());
             return 0;
         } else if (arg == "-h" || arg == "--help") {
             usage(stdout);
@@ -120,9 +195,10 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    // Pass 1: lex everything and harvest header-declared symbols.
+    // Pass 1: lex everything and harvest header symbols + include graph.
     std::vector<draidlint::FileUnit> units;
     draidlint::SymbolTables tables;
+    draidlint::IncludeGraph graph;
     for (const fs::path &f : files) {
         std::ifstream in(f, std::ios::binary);
         if (!in) {
@@ -134,6 +210,7 @@ main(int argc, char **argv)
         ss << in.rdbuf();
         units.push_back(draidlint::lexFile(relPath(f, root), ss.str()));
         draidlint::collectHeaderSymbols(units.back(), tables);
+        graph.addFile(units.back());
         // Partial scans (single files) still need the self-include rule:
         // register a sibling header even when it wasn't asked for.
         fs::path sibling = f;
@@ -142,13 +219,21 @@ main(int argc, char **argv)
             tables.scannedPaths.insert(relPath(sibling, root));
     }
 
-    // Pass 2: rules.
+    // Pass 2: rules (per-file), then the repo-wide cycle check.
     std::vector<draidlint::Diagnostic> diags;
     std::size_t suppression_count = 0;
     for (const draidlint::FileUnit &unit : units) {
         draidlint::runRules(unit, tables, diags);
         suppression_count += unit.suppressions.size();
     }
+    graph.checkCycles(diags);
+
+    if (!only_rule.empty())
+        diags.erase(std::remove_if(diags.begin(), diags.end(),
+                                   [&](const draidlint::Diagnostic &d) {
+                                       return d.rule != only_rule;
+                                   }),
+                    diags.end());
 
     std::sort(diags.begin(), diags.end(),
               [](const draidlint::Diagnostic &a,
@@ -159,9 +244,29 @@ main(int argc, char **argv)
                       return a.line < b.line;
                   return a.rule < b.rule;
               });
-    for (const auto &d : diags)
-        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
-                    d.rule.c_str(), d.message.c_str());
+
+    if (format == "json") {
+        writeJsonReport(stdout, diags, units.size(), suppression_count);
+    } else if (format == "github") {
+        for (const auto &d : diags)
+            std::printf("::error file=%s,line=%d,title=draid-lint %s::%s\n",
+                        d.file.c_str(), d.line, d.rule.c_str(),
+                        d.message.c_str());
+    } else {
+        for (const auto &d : diags)
+            std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
+                        d.rule.c_str(), d.message.c_str());
+    }
+    if (!report_path.empty()) {
+        std::FILE *rep = std::fopen(report_path.c_str(), "w");
+        if (!rep) {
+            std::fprintf(stderr, "draid_lint: cannot write report %s\n",
+                         report_path.c_str());
+            return 2;
+        }
+        writeJsonReport(rep, diags, units.size(), suppression_count);
+        std::fclose(rep);
+    }
 
     bool over_budget = max_suppressions >= 0 &&
                        suppression_count >

@@ -567,13 +567,50 @@ ruleFpAccum(const FileUnit &u, const SymbolTables &tables,
 
 } // namespace
 
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> kRules = {
+        {"wall-clock",
+         "no host-time reads; simulated time comes from Simulator::now()"},
+        {"raw-rng",
+         "all randomness flows through sim::Rng; telemetry is draw-free"},
+        {"unordered-iter",
+         "no hash-order iteration where order can reach simulated ticks"},
+        {"ptr-key",
+         "no pointer ordering (container keys or comparators)"},
+        {"include-first",
+         "a .cc file's first include is its own header"},
+        {"ns-header", "no `using namespace` at header scope"},
+        {"fp-accum",
+         "tick/byte totals accumulate integrally in src/sim + src/net"},
+        {"layering",
+         "src/ include edges follow the declared module DAG; no cycles"},
+        {"tick-unit",
+         "scheduling/latency APIs take/return sim::Ticks, never raw "
+         "sim::Tick"},
+        {"bounded-memory",
+         "growable container members under src/ carry a cap(<expr>) "
+         "bound annotation"},
+        {"callback-discipline",
+         "event callbacks: no engine re-entry, no schedule fan-out or "
+         "allocation in loops"},
+        {"bad-suppression",
+         "draid-lint markers are well-formed: allow(<rule>) -- <reason> "
+         "or cap(<expr>)"},
+    };
+    return kRules;
+}
+
 const std::vector<std::string> &
 allRuleIds()
 {
-    static const std::vector<std::string> kIds = {
-        "wall-clock", "raw-rng",       "unordered-iter", "ptr-key",
-        "include-first", "ns-header",  "fp-accum",       "bad-suppression",
-    };
+    static const std::vector<std::string> kIds = [] {
+        std::vector<std::string> ids;
+        for (const RuleInfo &r : allRules())
+            ids.push_back(r.id);
+        return ids;
+    }();
     return kIds;
 }
 
@@ -605,20 +642,25 @@ runRules(const FileUnit &unit, const SymbolTables &tables,
     ruleIncludeFirst(unit, tables, sink);
     ruleNsHeader(unit, sink);
     ruleFpAccum(unit, tables, sink);
+    runSemanticRules(unit, out);
 
     for (int line : unit.badSuppressionLines)
         out.push_back({unit.relPath, line, "bad-suppression",
                        "malformed draid-lint comment; expected "
                        "`draid-lint: allow(<rule>) -- <reason>` with a "
-                       "non-empty reason"});
+                       "non-empty reason, or `draid-lint: cap(<expr>)` "
+                       "with a non-empty bound"});
     for (const Suppression &s : unit.suppressions)
         if (std::find(allRuleIds().begin(), allRuleIds().end(), s.rule) ==
-            allRuleIds().end())
+            allRuleIds().end()) {
+            std::string known;
+            for (const std::string &id : allRuleIds())
+                known += (known.empty() ? "" : " ") + id;
             out.push_back({unit.relPath, s.line, "bad-suppression",
                            "allow(" + s.rule +
-                               ") names an unknown rule; known rules: "
-                               "wall-clock raw-rng unordered-iter ptr-key "
-                               "include-first ns-header fp-accum"});
+                               ") names an unknown rule; known rules: " +
+                               known});
+        }
 }
 
 } // namespace draidlint
